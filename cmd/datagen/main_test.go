@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"temporalrank/internal/tsio"
+)
+
+func TestRunCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.csv")
+	if err := run("temp", 10, 15, 1, "csv", out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := tsio.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSeries() != 10 {
+		t.Errorf("m = %d", ds.NumSeries())
+	}
+}
+
+func TestRunBinary(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.trk")
+	if err := run("meme", 8, 20, 2, "binary", out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := tsio.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSeries() != 8 {
+		t.Errorf("m = %d", ds.NumSeries())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x")
+	if err := run("nope", 5, 5, 1, "csv", out); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run("temp", 5, 5, 1, "nope", out); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run("temp", 0, 5, 1, "csv", out); err == nil {
+		t.Error("m=0 accepted")
+	}
+}

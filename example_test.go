@@ -1,0 +1,103 @@
+package temporalrank_test
+
+import (
+	"fmt"
+
+	"temporalrank"
+)
+
+// The three objects of this example follow Figure 2 of the paper: o1
+// (index 0 here) is never the instant leader on [t2,t3] yet wins the
+// aggregate query there.
+func ExampleDB_TopK() {
+	db, err := temporalrank.NewDB([]temporalrank.SeriesInput{
+		{Times: []float64{0, 2, 4}, Values: []float64{6, 6, 6}}, // steady o1
+		{Times: []float64{0, 2, 4}, Values: []float64{9, 1, 9}}, // dipping o2
+		{Times: []float64{0, 2, 4}, Values: []float64{1, 8, 1}}, // peaking o3
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range db.TopK(2, 1, 3) {
+		fmt.Printf("object %d: %.1f\n", r.ID, r.Score)
+	}
+	// Output:
+	// object 2: 12.5
+	// object 0: 12.0
+}
+
+func ExampleIndex_TopK() {
+	db, err := temporalrank.NewDB([]temporalrank.SeriesInput{
+		{Times: []float64{0, 1, 2}, Values: []float64{3, 5, 4}},
+		{Times: []float64{0, 1, 2}, Values: []float64{6, 1, 2}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	idx, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact3})
+	if err != nil {
+		panic(err)
+	}
+	top, err := idx.TopK(1, 0.5, 1.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("winner: object %d\n", top[0].ID)
+	// Output:
+	// winner: object 0
+}
+
+func ExampleIndex_TopKAvg() {
+	db, err := temporalrank.NewDB([]temporalrank.SeriesInput{
+		{Times: []float64{0, 10}, Values: []float64{4, 4}},
+		{Times: []float64{0, 10}, Values: []float64{1, 5}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	idx, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact2})
+	if err != nil {
+		panic(err)
+	}
+	avg, err := idx.TopKAvg(1, 0, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("object %d averages %.1f\n", avg[0].ID, avg[0].Score)
+	// Output:
+	// object 0 averages 4.0
+}
+
+func ExampleIndex_InstantTopK() {
+	db, err := temporalrank.NewDB([]temporalrank.SeriesInput{
+		{Times: []float64{0, 2}, Values: []float64{0, 10}}, // rising
+		{Times: []float64{0, 2}, Values: []float64{10, 0}}, // falling
+	})
+	if err != nil {
+		panic(err)
+	}
+	idx, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact3})
+	if err != nil {
+		panic(err)
+	}
+	early, _ := idx.InstantTopK(1, 0.5)
+	late, _ := idx.InstantTopK(1, 1.5)
+	fmt.Printf("at t=0.5 object %d leads; at t=1.5 object %d leads\n", early[0].ID, late[0].ID)
+	// Output:
+	// at t=0.5 object 1 leads; at t=1.5 object 0 leads
+}
+
+func ExampleNewDBFromSamples() {
+	// Raw readings are segmented adaptively before indexing.
+	objects := [][]temporalrank.Sample{
+		{{T: 0, V: 1}, {T: 1, V: 2}, {T: 2, V: 3}, {T: 3, V: 4}, {T: 4, V: 5}}, // collinear
+		{{T: 0, V: 5}, {T: 1, V: 0}, {T: 2, V: 5}, {T: 3, V: 0}, {T: 4, V: 5}}, // zig-zag
+	}
+	db, err := temporalrank.NewDBFromSamples(objects, temporalrank.SegmentBottomUp, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d objects, %d segments after segmentation\n", db.NumSeries(), db.NumSegments())
+	// Output:
+	// 2 objects, 5 segments after segmentation
+}

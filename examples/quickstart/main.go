@@ -1,0 +1,47 @@
+// Quickstart: build a tiny temporal database by hand, index it with
+// the paper's best exact method (EXACT3), and run an aggregate top-k
+// query — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"temporalrank"
+)
+
+func main() {
+	// Three objects with hand-drawn piecewise-linear score curves over
+	// the time domain [0, 4] — the shape of Figure 2 in the paper,
+	// where o1 wins an interval without ever being the instant top-1.
+	db, err := temporalrank.NewDB([]temporalrank.SeriesInput{
+		{Times: []float64{0, 1, 2, 3, 4}, Values: []float64{5, 5, 5, 5, 5}}, // steady
+		{Times: []float64{0, 1, 2, 3, 4}, Values: []float64{9, 1, 9, 1, 9}}, // spiky
+		{Times: []float64{0, 2, 4}, Values: []float64{2, 8, 2}},             // one hump
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	idx, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, iv := range [][2]float64{{0, 4}, {1.5, 2.5}, {0.5, 1.5}} {
+		results, err := idx.TopK(2, iv[0], iv[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("top-2(%g, %g, sum):\n", iv[0], iv[1])
+		for rank, r := range results {
+			fmt.Printf("  %d. object %d with aggregate score %.2f\n", rank+1, r.ID, r.Score)
+		}
+	}
+
+	// Instant top-k is the degenerate case t1 == t2 (scores are all 0
+	// under sum; the paper treats instants via its earlier work) —
+	// aggregate ranking needs a real interval:
+	best, _ := idx.TopK(1, 0, 4)
+	fmt.Printf("overall winner across [0,4]: object %d\n", best[0].ID)
+}

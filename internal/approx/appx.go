@@ -1,0 +1,348 @@
+package approx
+
+import (
+	"fmt"
+
+	"temporalrank/internal/blockio"
+	"temporalrank/internal/breakpoint"
+	"temporalrank/internal/exact"
+	"temporalrank/internal/topk"
+	"temporalrank/internal/tsdata"
+)
+
+// Kind selects which breakpoint construction an APPX method uses.
+type Kind int
+
+const (
+	// KindB1 uses BREAKPOINTS1 (the "-B" basic variants).
+	KindB1 Kind = iota
+	// KindB2 uses BREAKPOINTS2 (the improved variants).
+	KindB2
+)
+
+// Index is an approximate method: everything an exact.Method does,
+// plus approximation metadata.
+type Index interface {
+	exact.Method
+	// Epsilon returns the ε the index was built with.
+	Epsilon() float64
+	// KMax returns the largest supported query k.
+	KMax() int
+}
+
+// appxBase carries the pieces shared by all APPX variants, including
+// the §4 amortized update machinery: appended segments are tracked and
+// the whole structure is rebuilt when the dataset mass M doubles.
+type appxBase struct {
+	name string
+	dev  blockio.Device
+	ds   *tsdata.Dataset
+	bps  *breakpoint.Set
+	kmax int
+	kind Kind
+
+	buildM       float64
+	pendingMass  float64
+	pendingSegs  int
+	rebuildCount int
+	frontier     []vertex
+	rebuild      func() error
+}
+
+type vertex struct{ t, v float64 }
+
+func newAppxBase(name string, dev blockio.Device, ds *tsdata.Dataset, bps *breakpoint.Set, kmax int, kind Kind) appxBase {
+	fr := make([]vertex, ds.NumSeries())
+	for i, s := range ds.AllSeries() {
+		fr[i] = vertex{t: s.End(), v: s.VertexValue(s.NumSegments())}
+	}
+	return appxBase{
+		name: name, dev: dev, ds: ds, bps: bps, kmax: kmax, kind: kind,
+		buildM: ds.M(), frontier: fr,
+	}
+}
+
+func (a *appxBase) Name() string            { return a.name }
+func (a *appxBase) Device() blockio.Device  { return a.dev }
+func (a *appxBase) IndexPages() int         { return a.dev.NumPages() }
+func (a *appxBase) Epsilon() float64        { return a.bps.Epsilon }
+func (a *appxBase) KMax() int               { return a.kmax }
+func (a *appxBase) RebuildCount() int       { return a.rebuildCount }
+func (a *appxBase) Breaks() *breakpoint.Set { return a.bps }
+
+// Append implements the amortized §4 update scheme: the new segment is
+// applied to the backing dataset; when the accumulated mass doubles M,
+// the breakpoints and query structures are rebuilt with the original τ
+// = εM threshold semantics (the rebuild recomputes everything with the
+// current M). Until a rebuild the index answers from the structures
+// built at buildM — the (ε,α) guarantee degrades to at most (2ε,α)
+// since M grows by at most 2× between rebuilds.
+func (a *appxBase) Append(id tsdata.SeriesID, t, v float64) error {
+	if id < 0 || int(id) >= a.ds.NumSeries() {
+		return fmt.Errorf("%s: unknown series %d", a.name, id)
+	}
+	fr := a.frontier[id]
+	seg := tsdata.Segment{T1: fr.t, T2: t, V1: fr.v, V2: v}
+	if err := seg.Validate(); err != nil {
+		return err
+	}
+	if err := a.ds.Series(id).Append(t, v); err != nil {
+		return err
+	}
+	a.frontier[id] = vertex{t: t, v: v}
+	a.pendingMass += seg.AbsIntegral()
+	a.pendingSegs++
+	if a.buildM+a.pendingMass >= 2*a.buildM {
+		a.ds.Refresh()
+		if err := a.rebuild(); err != nil {
+			return err
+		}
+		a.rebuildCount++
+		a.buildM = a.ds.M()
+		a.pendingMass = 0
+		a.pendingSegs = 0
+	}
+	return nil
+}
+
+// buildBreaks constructs the configured breakpoint flavour.
+func buildBreaks(ds *tsdata.Dataset, kind Kind, eps float64) (*breakpoint.Set, error) {
+	if kind == KindB1 {
+		return breakpoint.Build1(ds, eps)
+	}
+	return breakpoint.Build2(ds, eps)
+}
+
+// --- APPX1 / APPX1-B ---------------------------------------------------
+
+// Appx1 combines breakpoints with Query1: (ε,1)-approximate.
+type Appx1 struct {
+	appxBase
+	q *Query1
+}
+
+// NewAppx1 builds APPX1 (kind=KindB2) or APPX1-B (kind=KindB1) with
+// error parameter eps and maximum query depth kmax.
+func NewAppx1(dev blockio.Device, ds *tsdata.Dataset, kind Kind, eps float64, kmax int) (*Appx1, error) {
+	bps, err := buildBreaks(ds, kind, eps)
+	if err != nil {
+		return nil, err
+	}
+	return NewAppx1WithBreaks(dev, ds, kind, bps, kmax)
+}
+
+// NewAppx1WithBreaks builds APPX1 over a precomputed breakpoint set
+// (used by the harness to share breakpoints across methods).
+func NewAppx1WithBreaks(dev blockio.Device, ds *tsdata.Dataset, kind Kind, bps *breakpoint.Set, kmax int) (*Appx1, error) {
+	q, err := BuildQuery1(dev, ds, bps, kmax)
+	if err != nil {
+		return nil, err
+	}
+	name := "APPX1"
+	if kind == KindB1 {
+		name = "APPX1-B"
+	}
+	a := &Appx1{appxBase: newAppxBase(name, dev, ds, bps, kmax, kind), q: q}
+	a.rebuild = func() error {
+		bps, err := buildBreaks(a.ds, a.kind, a.bps.Epsilon)
+		if err != nil {
+			return err
+		}
+		dev := blockio.NewMemDevice(a.dev.BlockSize())
+		q, err := BuildQuery1(dev, a.ds, bps, a.kmax)
+		if err != nil {
+			return err
+		}
+		a.bps, a.dev, a.q = bps, dev, q
+		return nil
+	}
+	return a, nil
+}
+
+// TopK implements exact.Method.
+func (a *Appx1) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
+	return a.q.TopK(k, t1, t2)
+}
+
+// Score implements exact.Method: the (ε,1) estimate if the object is in
+// the snapped interval's top-kmax, else 0 (no estimate is stored for
+// objects outside the materialized lists).
+func (a *Appx1) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
+	items, err := a.q.TopK(a.kmax, t1, t2)
+	if err != nil {
+		return 0, err
+	}
+	for _, it := range items {
+		if it.ID == id {
+			return it.Score, nil
+		}
+	}
+	return 0, nil
+}
+
+// --- APPX2 / APPX2-B ---------------------------------------------------
+
+// Appx2 combines breakpoints with Query2: (ε,2·log r)-approximate.
+type Appx2 struct {
+	appxBase
+	q *Query2
+}
+
+// NewAppx2 builds APPX2 (kind=KindB2) or APPX2-B (kind=KindB1).
+func NewAppx2(dev blockio.Device, ds *tsdata.Dataset, kind Kind, eps float64, kmax int) (*Appx2, error) {
+	bps, err := buildBreaks(ds, kind, eps)
+	if err != nil {
+		return nil, err
+	}
+	return NewAppx2WithBreaks(dev, ds, kind, bps, kmax)
+}
+
+// NewAppx2WithBreaks builds APPX2 over a precomputed breakpoint set.
+func NewAppx2WithBreaks(dev blockio.Device, ds *tsdata.Dataset, kind Kind, bps *breakpoint.Set, kmax int) (*Appx2, error) {
+	q, err := BuildQuery2(dev, ds, bps, kmax)
+	if err != nil {
+		return nil, err
+	}
+	name := "APPX2"
+	if kind == KindB1 {
+		name = "APPX2-B"
+	}
+	a := &Appx2{appxBase: newAppxBase(name, dev, ds, bps, kmax, kind), q: q}
+	a.rebuild = func() error {
+		bps, err := buildBreaks(a.ds, a.kind, a.bps.Epsilon)
+		if err != nil {
+			return err
+		}
+		dev := blockio.NewMemDevice(a.dev.BlockSize())
+		q, err := BuildQuery2(dev, a.ds, bps, a.kmax)
+		if err != nil {
+			return err
+		}
+		a.bps, a.dev, a.q = bps, dev, q
+		return nil
+	}
+	return a, nil
+}
+
+// TopK implements exact.Method.
+func (a *Appx2) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
+	return a.q.TopK(k, t1, t2)
+}
+
+// Score implements exact.Method (same convention as Appx1.Score).
+func (a *Appx2) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
+	cands, err := a.q.Candidates(a.kmax, t1, t2)
+	if err != nil {
+		return 0, err
+	}
+	return cands[id], nil
+}
+
+// Query2Index exposes the underlying dyadic structure (for the
+// candidate-set property tests and the harness).
+func (a *Appx2) Query2Index() *Query2 { return a.q }
+
+// --- APPX2+ -------------------------------------------------------------
+
+// Appx2Plus is APPX2 with exact rescoring: the dyadic candidate set K
+// is re-evaluated through an EXACT2 forest (built on the same device,
+// which is why its index size is O(N/B) like the exact methods), then
+// the k best exact scores win. Empirically near-exact at APPX2 query
+// cost plus |K| tree lookups.
+type Appx2Plus struct {
+	appxBase
+	q  *Query2
+	e2 *exact.Exact2
+}
+
+// NewAppx2Plus builds APPX2+ (the paper always pairs it with
+// BREAKPOINTS2, but both kinds are supported).
+func NewAppx2Plus(dev blockio.Device, ds *tsdata.Dataset, kind Kind, eps float64, kmax int) (*Appx2Plus, error) {
+	bps, err := buildBreaks(ds, kind, eps)
+	if err != nil {
+		return nil, err
+	}
+	return NewAppx2PlusWithBreaks(dev, ds, kind, bps, kmax)
+}
+
+// NewAppx2PlusWithBreaks builds APPX2+ over a precomputed breakpoint
+// set.
+func NewAppx2PlusWithBreaks(dev blockio.Device, ds *tsdata.Dataset, kind Kind, bps *breakpoint.Set, kmax int) (*Appx2Plus, error) {
+	q, err := BuildQuery2(dev, ds, bps, kmax)
+	if err != nil {
+		return nil, err
+	}
+	e2, err := exact.BuildExact2(dev, ds)
+	if err != nil {
+		return nil, err
+	}
+	name := "APPX2+"
+	if kind == KindB1 {
+		name = "APPX2+-B"
+	}
+	a := &Appx2Plus{appxBase: newAppxBase(name, dev, ds, bps, kmax, kind), q: q, e2: e2}
+	a.rebuild = func() error {
+		bps, err := buildBreaks(a.ds, a.kind, a.bps.Epsilon)
+		if err != nil {
+			return err
+		}
+		dev := blockio.NewMemDevice(a.dev.BlockSize())
+		q, err := BuildQuery2(dev, a.ds, bps, a.kmax)
+		if err != nil {
+			return err
+		}
+		e2, err := exact.BuildExact2(dev, a.ds)
+		if err != nil {
+			return err
+		}
+		a.bps, a.dev, a.q, a.e2 = bps, dev, q, e2
+		return nil
+	}
+	return a, nil
+}
+
+// TopK implements exact.Method: dyadic candidates, exact rescoring.
+func (a *Appx2Plus) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
+	cands, err := a.q.Candidates(k, t1, t2)
+	if err != nil {
+		return nil, err
+	}
+	c := topk.NewCollector(k)
+	for id := range cands {
+		s, err := a.e2.Score(id, t1, t2)
+		if err != nil {
+			return nil, err
+		}
+		c.Add(id, s)
+	}
+	return c.Results(), nil
+}
+
+// Score implements exact.Method: exact when the object is a candidate.
+func (a *Appx2Plus) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
+	return a.e2.Score(id, t1, t2)
+}
+
+// Append also forwards the new segment to the EXACT2 forest so exact
+// rescoring stays current between rebuilds.
+func (a *Appx2Plus) Append(id tsdata.SeriesID, t, v float64) error {
+	// Capture the frontier before the base consumes it.
+	if id < 0 || int(id) >= a.ds.NumSeries() {
+		return fmt.Errorf("%s: unknown series %d", a.name, id)
+	}
+	rebuildsBefore := a.rebuildCount
+	if err := a.appxBase.Append(id, t, v); err != nil {
+		return err
+	}
+	if a.rebuildCount == rebuildsBefore {
+		// No rebuild: keep the forest in sync incrementally.
+		return a.e2.Append(id, t, v)
+	}
+	return nil
+}
+
+var (
+	_ Index = (*Appx1)(nil)
+	_ Index = (*Appx2)(nil)
+	_ Index = (*Appx2Plus)(nil)
+)

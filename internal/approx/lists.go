@@ -1,0 +1,209 @@
+// Package approx implements the paper's approximate aggregate top-k
+// indexes (§3.2, §3.3):
+//
+//   - Query1: the nested-B+-tree structure over all O(r²) breakpoint
+//     pairs, answering (ε,1)-approximate top-k in O(k/B + log_B r) IOs.
+//   - Query2: the dyadic-interval structure over O(r) intervals,
+//     answering (ε,2·log r)-approximate top-k in O(k·log r·log_B k)
+//     IOs with Θ(r·kmax/B) space.
+//   - The combined methods APPX1-B, APPX2-B (BREAKPOINTS1-based),
+//     APPX1, APPX2 (BREAKPOINTS2-based), and APPX2+ (APPX2 with exact
+//     rescoring of the candidate set through an EXACT2 forest).
+//
+// All structures store their payload on a blockio.Device so query IO
+// follows the paper's cost model. Top-k lists are densely packed into
+// a shared page arena (lists freely span and share pages), so index
+// size really is Θ(r²·kmax/B) / Θ(r·kmax/B) rather than one page per
+// list.
+package approx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"temporalrank/internal/blockio"
+	"temporalrank/internal/topk"
+	"temporalrank/internal/tsdata"
+)
+
+const (
+	arenaHeaderSize = 8     // next-page pointer
+	listEntrySize   = 4 + 8 // series uint32, score float64
+)
+
+// listRef locates a packed top-k list in the arena.
+type listRef struct {
+	head  blockio.PageID
+	off   uint16 // byte offset of the first entry in the head page
+	count uint32
+}
+
+const listRefSize = 8 + 2 + 4
+
+func putNextPtr(buf []byte, p blockio.PageID) {
+	v := int64(p)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(v))
+}
+
+func (r listRef) encode(b []byte) {
+	binary.LittleEndian.PutUint64(b[0:], uint64(int64(r.head)))
+	binary.LittleEndian.PutUint16(b[8:], r.off)
+	binary.LittleEndian.PutUint32(b[10:], r.count)
+}
+
+func decodeListRef(b []byte) listRef {
+	return listRef{
+		head:  blockio.PageID(int64(binary.LittleEndian.Uint64(b[0:]))),
+		off:   binary.LittleEndian.Uint16(b[8:]),
+		count: binary.LittleEndian.Uint32(b[10:]),
+	}
+}
+
+// listArena packs top-k lists densely into device pages. Each page
+// begins with a next-page pointer; a list is (head page, offset,
+// count) and may span any number of consecutive arena pages.
+type listArena struct {
+	dev  blockio.Device
+	buf  []byte
+	page blockio.PageID
+	off  int
+}
+
+func newListArena(dev blockio.Device) (*listArena, error) {
+	if dev.BlockSize() < arenaHeaderSize+listEntrySize {
+		return nil, fmt.Errorf("approx: block size %d too small for list entries", dev.BlockSize())
+	}
+	if dev.BlockSize() > 1<<16 {
+		return nil, fmt.Errorf("approx: block size %d exceeds list offset range", dev.BlockSize())
+	}
+	return &listArena{
+		dev:  dev,
+		buf:  make([]byte, dev.BlockSize()),
+		page: blockio.InvalidPage,
+		off:  dev.BlockSize(), // force allocation on first Put
+	}, nil
+}
+
+// advance allocates the next arena page, chaining it from the current
+// one, and flushes the current page.
+func (a *listArena) advance() error {
+	p, err := a.dev.Alloc()
+	if err != nil {
+		return err
+	}
+	if a.page != blockio.InvalidPage {
+		putNextPtr(a.buf, p)
+		if err := a.dev.Write(a.page, a.buf); err != nil {
+			return err
+		}
+	}
+	for i := range a.buf {
+		a.buf[i] = 0
+	}
+	putNextPtr(a.buf, blockio.InvalidPage)
+	a.page = p
+	a.off = arenaHeaderSize
+	return nil
+}
+
+// Put appends a list (already rank-ordered) and returns its reference.
+func (a *listArena) Put(items []topk.Item) (listRef, error) {
+	if len(items) == 0 {
+		return listRef{head: blockio.InvalidPage}, nil
+	}
+	if a.off+listEntrySize > len(a.buf) {
+		if err := a.advance(); err != nil {
+			return listRef{}, err
+		}
+	}
+	ref := listRef{head: a.page, off: uint16(a.off), count: uint32(len(items))}
+	for _, it := range items {
+		if a.off+listEntrySize > len(a.buf) {
+			if err := a.advance(); err != nil {
+				return listRef{}, err
+			}
+		}
+		binary.LittleEndian.PutUint32(a.buf[a.off:], uint32(it.ID))
+		binary.LittleEndian.PutUint64(a.buf[a.off+4:], math.Float64bits(it.Score))
+		a.off += listEntrySize
+	}
+	return ref, nil
+}
+
+// Flush writes the trailing partial page; call once after all Puts.
+func (a *listArena) Flush() error {
+	if a.page == blockio.InvalidPage {
+		return nil
+	}
+	return a.dev.Write(a.page, a.buf)
+}
+
+// readList reads up to limit items of a packed list (limit < 0 reads
+// all).
+func readList(dev blockio.Device, ref listRef, limit int) ([]topk.Item, error) {
+	if ref.head == blockio.InvalidPage || ref.count == 0 || limit == 0 {
+		return nil, nil
+	}
+	want := int(ref.count)
+	if limit > 0 && limit < want {
+		want = limit
+	}
+	out := make([]topk.Item, 0, want)
+	buf := make([]byte, dev.BlockSize())
+	page := ref.head
+	off := int(ref.off)
+	if err := dev.Read(page, buf); err != nil {
+		return nil, err
+	}
+	for len(out) < want {
+		if off+listEntrySize > len(buf) {
+			next := blockio.PageID(int64(binary.LittleEndian.Uint64(buf[0:])))
+			if next == blockio.InvalidPage {
+				return nil, fmt.Errorf("approx: list truncated at %d of %d entries", len(out), want)
+			}
+			if err := dev.Read(next, buf); err != nil {
+				return nil, err
+			}
+			page = next
+			off = arenaHeaderSize
+		}
+		out = append(out, topk.Item{
+			ID:    tsdata.SeriesID(binary.LittleEndian.Uint32(buf[off:])),
+			Score: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:])),
+		})
+		off += listEntrySize
+	}
+	return out, nil
+}
+
+// prefixAtBreakpoints computes P[i][j] = σ_i(Start, b_j) for every
+// object i and breakpoint j in one pass per object, so any snapped
+// interval aggregate is P[i][j'] - P[i][j].
+//
+// This replaces the paper's r-way running-sum sweep with an equivalent
+// prefix-matrix construction (see DESIGN.md §5.3); the resulting index
+// bytes are identical.
+func prefixAtBreakpoints(ds *tsdata.Dataset, times []float64) [][]float64 {
+	m := ds.NumSeries()
+	p := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		s := ds.Series(tsdata.SeriesID(i))
+		row := make([]float64, len(times))
+		for j, b := range times {
+			row[j] = s.Range(ds.Start(), b)
+		}
+		p[i] = row
+	}
+	return p
+}
+
+func validateQuery(t1, t2 float64) error {
+	if math.IsNaN(t1) || math.IsNaN(t2) || math.IsInf(t1, 0) || math.IsInf(t2, 0) {
+		return fmt.Errorf("approx: non-finite query interval [%g,%g]", t1, t2)
+	}
+	if t2 < t1 {
+		return fmt.Errorf("approx: inverted query interval [%g,%g]", t1, t2)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package blockio
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is returned by FaultDevice once its operation budget is
+// exhausted.
+var ErrInjected = errors.New("blockio: injected fault")
+
+// FaultDevice wraps a Device and fails every operation after a given
+// number of successful ones — the failure-injection harness used to
+// verify that every index propagates device errors instead of
+// panicking or silently corrupting results.
+type FaultDevice struct {
+	mu        sync.Mutex
+	inner     Device
+	remaining int64 // operations allowed before faulting; <0 = unlimited
+}
+
+// NewFaultDevice allows ops successful operations, then fails all.
+func NewFaultDevice(inner Device, ops int64) *FaultDevice {
+	return &FaultDevice{inner: inner, remaining: ops}
+}
+
+// Arm resets the budget (e.g. to inject at query time after a healthy
+// build).
+func (d *FaultDevice) Arm(ops int64) {
+	d.mu.Lock()
+	d.remaining = ops
+	d.mu.Unlock()
+}
+
+// Disarm disables fault injection.
+func (d *FaultDevice) Disarm() { d.Arm(-1) }
+
+func (d *FaultDevice) take() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.remaining < 0 {
+		return nil
+	}
+	if d.remaining == 0 {
+		return ErrInjected
+	}
+	d.remaining--
+	return nil
+}
+
+// BlockSize implements Device.
+func (d *FaultDevice) BlockSize() int { return d.inner.BlockSize() }
+
+// Alloc implements Device.
+func (d *FaultDevice) Alloc() (PageID, error) {
+	if err := d.take(); err != nil {
+		return InvalidPage, err
+	}
+	return d.inner.Alloc()
+}
+
+// Read implements Device.
+func (d *FaultDevice) Read(id PageID, buf []byte) error {
+	if err := d.take(); err != nil {
+		return err
+	}
+	return d.inner.Read(id, buf)
+}
+
+// Write implements Device.
+func (d *FaultDevice) Write(id PageID, data []byte) error {
+	if err := d.take(); err != nil {
+		return err
+	}
+	return d.inner.Write(id, data)
+}
+
+// Free implements Device.
+func (d *FaultDevice) Free(id PageID) error {
+	if err := d.take(); err != nil {
+		return err
+	}
+	return d.inner.Free(id)
+}
+
+// NumPages implements Device.
+func (d *FaultDevice) NumPages() int { return d.inner.NumPages() }
+
+// Stats implements Device.
+func (d *FaultDevice) Stats() Stats { return d.inner.Stats() }
+
+// ResetStats implements Device.
+func (d *FaultDevice) ResetStats() { d.inner.ResetStats() }
+
+// Close implements Device.
+func (d *FaultDevice) Close() error { return d.inner.Close() }
+
+var _ Device = (*FaultDevice)(nil)

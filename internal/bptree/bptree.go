@@ -1,0 +1,574 @@
+// Package bptree implements a disk-based B+-tree over a blockio.Device.
+//
+// Keys are float64 time instances; values are fixed-size opaque byte
+// payloads (the caller encodes segments, prefix sums, or page pointers
+// into them). The tree supports bulk-loading from sorted input, ordered
+// insertion with node splits, ceiling search (first entry with key >=
+// x), and forward range scans via leaf sibling links.
+//
+// This is the workhorse index of the paper: EXACT1 keys all N segments
+// by left endpoint, EXACT2 builds one tree per object keyed by segment
+// right endpoints, and QUERY1 nests trees over breakpoints (§2, §3.2).
+package bptree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"temporalrank/internal/blockio"
+)
+
+// Entry is one key/value pair. Value length must equal the tree's
+// configured ValueSize.
+type Entry struct {
+	Key   float64
+	Value []byte
+}
+
+// Tree is a B+-tree handle. The zero value is not usable; create trees
+// with New or BulkLoad.
+type Tree struct {
+	dev       blockio.Device
+	valueSize int
+
+	root       blockio.PageID
+	height     int // 1 = root is a leaf
+	numEntries int
+
+	// Capacities derived from the block size.
+	leafCap     int
+	internalCap int // max number of keys in an internal node
+}
+
+const (
+	leafHeaderSize     = 1 + 2 + 8 // type, count, next
+	internalHeaderSize = 1 + 2     // type, count
+	keySize            = 8
+	childSize          = 8
+)
+
+var (
+	// ErrNotFound is returned by searches that run off the end of the
+	// key space.
+	ErrNotFound = errors.New("bptree: not found")
+	// ErrBadValueSize is returned when an entry's value length differs
+	// from the tree's ValueSize.
+	ErrBadValueSize = errors.New("bptree: value size mismatch")
+)
+
+// New creates an empty tree on dev whose entries carry valueSize-byte
+// payloads.
+func New(dev blockio.Device, valueSize int) (*Tree, error) {
+	t := &Tree{dev: dev, valueSize: valueSize}
+	if err := t.computeCaps(); err != nil {
+		return nil, err
+	}
+	rootPage, err := dev.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, dev.BlockSize())
+	initLeaf(buf)
+	if err := dev.Write(rootPage, buf); err != nil {
+		return nil, err
+	}
+	t.root = rootPage
+	t.height = 1
+	return t, nil
+}
+
+func (t *Tree) computeCaps() error {
+	bs := t.dev.BlockSize()
+	entry := keySize + t.valueSize
+	t.leafCap = (bs - leafHeaderSize) / entry
+	t.internalCap = (bs - internalHeaderSize - childSize) / (keySize + childSize)
+	if t.leafCap < 2 || t.internalCap < 2 {
+		return fmt.Errorf("bptree: block size %d too small for value size %d", bs, t.valueSize)
+	}
+	return nil
+}
+
+// ValueSize returns the configured payload size.
+func (t *Tree) ValueSize() int { return t.valueSize }
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.numEntries }
+
+// Height returns the tree height (1 for a lone leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Root exposes the root page (for meta-persistence by callers).
+func (t *Tree) Root() blockio.PageID { return t.root }
+
+// LeafCapacity returns the max entries per leaf (fanout diagnostics).
+func (t *Tree) LeafCapacity() int { return t.leafCap }
+
+// --- page codecs ---------------------------------------------------
+
+func initLeaf(buf []byte) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	buf[0] = 1
+	putPageID(buf[3:], blockio.InvalidPage)
+}
+
+func initInternal(buf []byte) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	buf[0] = 0
+}
+
+func isLeaf(buf []byte) bool { return buf[0] == 1 }
+
+func leafCount(buf []byte) int       { return int(binary.LittleEndian.Uint16(buf[1:])) }
+func setLeafCount(buf []byte, n int) { binary.LittleEndian.PutUint16(buf[1:], uint16(n)) }
+
+func leafNext(buf []byte) blockio.PageID       { return getPageID(buf[3:]) }
+func setLeafNext(buf []byte, p blockio.PageID) { putPageID(buf[3:], p) }
+
+func (t *Tree) leafKey(buf []byte, i int) float64 {
+	off := leafHeaderSize + i*(keySize+t.valueSize)
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+}
+
+func (t *Tree) leafValue(buf []byte, i int) []byte {
+	off := leafHeaderSize + i*(keySize+t.valueSize) + keySize
+	return buf[off : off+t.valueSize]
+}
+
+func (t *Tree) setLeafEntry(buf []byte, i int, key float64, value []byte) {
+	off := leafHeaderSize + i*(keySize+t.valueSize)
+	binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(key))
+	copy(buf[off+keySize:off+keySize+t.valueSize], value)
+}
+
+func internalCount(buf []byte) int       { return int(binary.LittleEndian.Uint16(buf[1:])) }
+func setInternalCount(buf []byte, n int) { binary.LittleEndian.PutUint16(buf[1:], uint16(n)) }
+
+func (t *Tree) internalChild(buf []byte, i int) blockio.PageID {
+	off := internalHeaderSize + i*childSize
+	return getPageID(buf[off:])
+}
+
+func (t *Tree) setInternalChild(buf []byte, i int, p blockio.PageID) {
+	off := internalHeaderSize + i*childSize
+	putPageID(buf[off:], p)
+}
+
+func (t *Tree) internalKey(buf []byte, i int) float64 {
+	off := internalHeaderSize + (t.internalCap+1)*childSize + i*keySize
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+}
+
+func (t *Tree) setInternalKey(buf []byte, i int, k float64) {
+	off := internalHeaderSize + (t.internalCap+1)*childSize + i*keySize
+	binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(k))
+}
+
+func getPageID(b []byte) blockio.PageID {
+	return blockio.PageID(int64(binary.LittleEndian.Uint64(b)))
+}
+
+func putPageID(b []byte, p blockio.PageID) {
+	binary.LittleEndian.PutUint64(b, uint64(int64(p)))
+}
+
+// --- search ----------------------------------------------------------
+
+// Cursor iterates leaf entries in key order.
+type Cursor struct {
+	t    *Tree
+	page blockio.PageID
+	buf  []byte
+	idx  int
+	err  error
+}
+
+// SearchCeil positions a cursor at the first entry with key >= x.
+// Returns ErrNotFound when every key is < x (or the tree is empty).
+func (t *Tree) SearchCeil(x float64) (*Cursor, error) {
+	buf := make([]byte, t.dev.BlockSize())
+	page := t.root
+	for {
+		if err := t.dev.Read(page, buf); err != nil {
+			return nil, err
+		}
+		if isLeaf(buf) {
+			break
+		}
+		n := internalCount(buf)
+		// Descend to the first child that can contain a key >= x:
+		// child i covers keys < key[i]; child j where j = #(key_i <= x).
+		j := 0
+		for j < n && t.internalKey(buf, j) <= x {
+			j++
+		}
+		page = t.internalChild(buf, j)
+	}
+	c := &Cursor{t: t, page: page, buf: buf}
+	n := leafCount(buf)
+	// Binary search within the leaf for first key >= x.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.leafKey(buf, mid) < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	c.idx = lo
+	if lo == n {
+		// All keys in this leaf < x; the ceil (if any) is the first
+		// entry of the next leaf.
+		if !c.advanceLeaf() {
+			if c.err != nil {
+				return nil, c.err
+			}
+			return nil, ErrNotFound
+		}
+	}
+	if leafCount(c.buf) == 0 {
+		return nil, ErrNotFound
+	}
+	return c, nil
+}
+
+// Min positions a cursor at the smallest entry.
+func (t *Tree) Min() (*Cursor, error) {
+	return t.SearchCeil(math.Inf(-1))
+}
+
+// Key returns the cursor's current key.
+func (c *Cursor) Key() float64 { return c.t.leafKey(c.buf, c.idx) }
+
+// Value returns the cursor's current value. The slice aliases the
+// cursor's internal buffer and is invalidated by Next.
+func (c *Cursor) Value() []byte { return c.t.leafValue(c.buf, c.idx) }
+
+// Next advances to the following entry; it reports false at the end of
+// the tree or on IO error (check Err).
+func (c *Cursor) Next() bool {
+	c.idx++
+	if c.idx < leafCount(c.buf) {
+		return true
+	}
+	return c.advanceLeaf()
+}
+
+func (c *Cursor) advanceLeaf() bool {
+	next := leafNext(c.buf)
+	for next != blockio.InvalidPage {
+		if err := c.t.dev.Read(next, c.buf); err != nil {
+			c.err = err
+			return false
+		}
+		c.page = next
+		c.idx = 0
+		if leafCount(c.buf) > 0 {
+			return true
+		}
+		next = leafNext(c.buf)
+	}
+	return false
+}
+
+// Err returns the IO error that stopped iteration, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// --- bulk load -------------------------------------------------------
+
+// BulkLoad builds a tree from entries already sorted by key (ties
+// allowed). It writes leaves left to right at the given fill factor
+// and builds internal levels bottom-up — the O((N/B) log_B N) build
+// the paper assumes for all its B+-trees.
+func BulkLoad(dev blockio.Device, valueSize int, entries []Entry) (*Tree, error) {
+	t := &Tree{dev: dev, valueSize: valueSize}
+	if err := t.computeCaps(); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Key < entries[i-1].Key {
+			return nil, fmt.Errorf("bptree: bulk-load input not sorted at %d", i)
+		}
+	}
+	if len(entries) == 0 {
+		return New(dev, valueSize)
+	}
+	buf := make([]byte, dev.BlockSize())
+
+	// Level 0: leaves.
+	type nodeRef struct {
+		page   blockio.PageID
+		minKey float64
+	}
+	var level []nodeRef
+	var prevLeaf blockio.PageID = blockio.InvalidPage
+	var prevBuf []byte
+	for start := 0; start < len(entries); start += t.leafCap {
+		end := start + t.leafCap
+		if end > len(entries) {
+			end = len(entries)
+		}
+		page, err := dev.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		initLeaf(buf)
+		for i := start; i < end; i++ {
+			e := entries[i]
+			if len(e.Value) != valueSize {
+				return nil, fmt.Errorf("%w: got %d, want %d", ErrBadValueSize, len(e.Value), valueSize)
+			}
+			t.setLeafEntry(buf, i-start, e.Key, e.Value)
+		}
+		setLeafCount(buf, end-start)
+		if prevLeaf != blockio.InvalidPage {
+			setLeafNext(prevBuf, page)
+			if err := dev.Write(prevLeaf, prevBuf); err != nil {
+				return nil, err
+			}
+		}
+		prevLeaf = page
+		prevBuf = append(prevBuf[:0], buf...)
+		level = append(level, nodeRef{page: page, minKey: entries[start].Key})
+	}
+	if err := dev.Write(prevLeaf, prevBuf); err != nil {
+		return nil, err
+	}
+	t.numEntries = len(entries)
+	t.height = 1
+
+	// Internal levels.
+	for len(level) > 1 {
+		var next []nodeRef
+		fan := t.internalCap + 1 // children per internal node
+		for start := 0; start < len(level); start += fan {
+			end := start + fan
+			if end > len(level) {
+				end = len(level)
+			}
+			page, err := dev.Alloc()
+			if err != nil {
+				return nil, err
+			}
+			initInternal(buf)
+			for i := start; i < end; i++ {
+				t.setInternalChild(buf, i-start, level[i].page)
+				if i > start {
+					t.setInternalKey(buf, i-start-1, level[i].minKey)
+				}
+			}
+			setInternalCount(buf, end-start-1)
+			if err := dev.Write(page, buf); err != nil {
+				return nil, err
+			}
+			next = append(next, nodeRef{page: page, minKey: level[start].minKey})
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].page
+	return t, nil
+}
+
+// --- insert ----------------------------------------------------------
+
+// Insert adds an entry, splitting nodes as needed. Duplicate keys are
+// allowed; the new entry lands after existing equal keys.
+func (t *Tree) Insert(key float64, value []byte) error {
+	if len(value) != t.valueSize {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadValueSize, len(value), t.valueSize)
+	}
+	splitKey, newPage, err := t.insertRec(t.root, key, value)
+	if err != nil {
+		return err
+	}
+	if newPage != blockio.InvalidPage {
+		// Root split: grow the tree by one level.
+		rootPage, err := t.dev.Alloc()
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, t.dev.BlockSize())
+		initInternal(buf)
+		t.setInternalChild(buf, 0, t.root)
+		t.setInternalChild(buf, 1, newPage)
+		t.setInternalKey(buf, 0, splitKey)
+		setInternalCount(buf, 1)
+		if err := t.dev.Write(rootPage, buf); err != nil {
+			return err
+		}
+		t.root = rootPage
+		t.height++
+	}
+	t.numEntries++
+	return nil
+}
+
+// insertRec inserts below page; when page splits it returns the
+// separator key and the new right sibling.
+func (t *Tree) insertRec(page blockio.PageID, key float64, value []byte) (float64, blockio.PageID, error) {
+	buf := make([]byte, t.dev.BlockSize())
+	if err := t.dev.Read(page, buf); err != nil {
+		return 0, blockio.InvalidPage, err
+	}
+	if isLeaf(buf) {
+		return t.insertLeaf(page, buf, key, value)
+	}
+	n := internalCount(buf)
+	j := 0
+	for j < n && t.internalKey(buf, j) <= key {
+		j++
+	}
+	child := t.internalChild(buf, j)
+	splitKey, newChild, err := t.insertRec(child, key, value)
+	if err != nil || newChild == blockio.InvalidPage {
+		return 0, blockio.InvalidPage, err
+	}
+	// Insert (splitKey, newChild) after position j.
+	// Re-read: the recursive call may be deep but does not touch this
+	// page, so buf is still current.
+	if n < t.internalCap {
+		for i := n; i > j; i-- {
+			t.setInternalKey(buf, i, t.internalKey(buf, i-1))
+			t.setInternalChild(buf, i+1, t.internalChild(buf, i))
+		}
+		t.setInternalKey(buf, j, splitKey)
+		t.setInternalChild(buf, j+1, newChild)
+		setInternalCount(buf, n+1)
+		return 0, blockio.InvalidPage, t.dev.Write(page, buf)
+	}
+	// Split the internal node. Build the virtual key/child lists.
+	keys := make([]float64, 0, n+1)
+	children := make([]blockio.PageID, 0, n+2)
+	for i := 0; i <= n; i++ {
+		children = append(children, t.internalChild(buf, i))
+	}
+	for i := 0; i < n; i++ {
+		keys = append(keys, t.internalKey(buf, i))
+	}
+	keys = append(keys[:j], append([]float64{splitKey}, keys[j:]...)...)
+	children = append(children[:j+1], append([]blockio.PageID{newChild}, children[j+1:]...)...)
+
+	mid := len(keys) / 2
+	upKey := keys[mid]
+	leftKeys, rightKeys := keys[:mid], keys[mid+1:]
+	leftChildren, rightChildren := children[:mid+1], children[mid+1:]
+
+	initInternal(buf)
+	for i, c := range leftChildren {
+		t.setInternalChild(buf, i, c)
+	}
+	for i, k := range leftKeys {
+		t.setInternalKey(buf, i, k)
+	}
+	setInternalCount(buf, len(leftKeys))
+	if err := t.dev.Write(page, buf); err != nil {
+		return 0, blockio.InvalidPage, err
+	}
+
+	rightPage, err := t.dev.Alloc()
+	if err != nil {
+		return 0, blockio.InvalidPage, err
+	}
+	initInternal(buf)
+	for i, c := range rightChildren {
+		t.setInternalChild(buf, i, c)
+	}
+	for i, k := range rightKeys {
+		t.setInternalKey(buf, i, k)
+	}
+	setInternalCount(buf, len(rightKeys))
+	if err := t.dev.Write(rightPage, buf); err != nil {
+		return 0, blockio.InvalidPage, err
+	}
+	return upKey, rightPage, nil
+}
+
+func (t *Tree) insertLeaf(page blockio.PageID, buf []byte, key float64, value []byte) (float64, blockio.PageID, error) {
+	n := leafCount(buf)
+	// Position after existing equal keys.
+	pos := 0
+	for pos < n && t.leafKey(buf, pos) <= key {
+		pos++
+	}
+	if n < t.leafCap {
+		for i := n; i > pos; i-- {
+			t.setLeafEntry(buf, i, t.leafKey(buf, i-1), t.leafValue(buf, i-1))
+		}
+		t.setLeafEntry(buf, pos, key, value)
+		setLeafCount(buf, n+1)
+		return 0, blockio.InvalidPage, t.dev.Write(page, buf)
+	}
+	// Split. Gather all n+1 entries.
+	type kv struct {
+		k float64
+		v []byte
+	}
+	all := make([]kv, 0, n+1)
+	for i := 0; i < n; i++ {
+		v := make([]byte, t.valueSize)
+		copy(v, t.leafValue(buf, i))
+		all = append(all, kv{t.leafKey(buf, i), v})
+	}
+	nv := make([]byte, t.valueSize)
+	copy(nv, value)
+	all = append(all[:pos], append([]kv{{key, nv}}, all[pos:]...)...)
+
+	mid := len(all) / 2
+	oldNext := leafNext(buf)
+
+	rightPage, err := t.dev.Alloc()
+	if err != nil {
+		return 0, blockio.InvalidPage, err
+	}
+
+	initLeaf(buf)
+	for i := 0; i < mid; i++ {
+		t.setLeafEntry(buf, i, all[i].k, all[i].v)
+	}
+	setLeafCount(buf, mid)
+	setLeafNext(buf, rightPage)
+	if err := t.dev.Write(page, buf); err != nil {
+		return 0, blockio.InvalidPage, err
+	}
+
+	initLeaf(buf)
+	for i := mid; i < len(all); i++ {
+		t.setLeafEntry(buf, i-mid, all[i].k, all[i].v)
+	}
+	setLeafCount(buf, len(all)-mid)
+	setLeafNext(buf, oldNext)
+	if err := t.dev.Write(rightPage, buf); err != nil {
+		return 0, blockio.InvalidPage, err
+	}
+	return all[mid].k, rightPage, nil
+}
+
+// Last returns the largest entry (key, value) in O(height) IOs; used by
+// EXACT2 updates to fetch σ_i(I_{i,n_i}) from the last entry in T_i.
+func (t *Tree) Last() (float64, []byte, error) {
+	buf := make([]byte, t.dev.BlockSize())
+	page := t.root
+	for {
+		if err := t.dev.Read(page, buf); err != nil {
+			return 0, nil, err
+		}
+		if isLeaf(buf) {
+			break
+		}
+		page = t.internalChild(buf, internalCount(buf))
+	}
+	n := leafCount(buf)
+	if n == 0 {
+		return 0, nil, ErrNotFound
+	}
+	v := make([]byte, t.valueSize)
+	copy(v, t.leafValue(buf, n-1))
+	return t.leafKey(buf, n-1), v, nil
+}

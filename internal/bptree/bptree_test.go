@@ -1,0 +1,436 @@
+package bptree
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"temporalrank/internal/blockio"
+)
+
+func val8(x uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, x)
+	return b
+}
+
+func dec8(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+func mkEntries(keys []float64) []Entry {
+	es := make([]Entry, len(keys))
+	for i, k := range keys {
+		es[i] = Entry{Key: k, Value: val8(uint64(i))}
+	}
+	return es
+}
+
+func collect(t *testing.T, tr *Tree) []float64 {
+	t.Helper()
+	c, err := tr.Min()
+	if err == ErrNotFound {
+		return nil
+	}
+	if err != nil {
+		t.Fatalf("Min: %v", err)
+	}
+	var keys []float64
+	for {
+		keys = append(keys, c.Key())
+		if !c.Next() {
+			break
+		}
+	}
+	if c.Err() != nil {
+		t.Fatalf("cursor error: %v", c.Err())
+	}
+	return keys
+}
+
+func TestEmptyTree(t *testing.T) {
+	dev := blockio.NewMemDevice(256)
+	tr, err := New(dev, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if _, err := tr.SearchCeil(0); err != ErrNotFound {
+		t.Errorf("SearchCeil on empty = %v, want ErrNotFound", err)
+	}
+	if _, _, err := tr.Last(); err != ErrNotFound {
+		t.Errorf("Last on empty = %v, want ErrNotFound", err)
+	}
+}
+
+func TestBulkLoadSmall(t *testing.T) {
+	dev := blockio.NewMemDevice(4096)
+	keys := []float64{1, 2, 3, 5, 8, 13}
+	tr, err := BulkLoad(dev, 8, mkEntries(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(keys) {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	got := collect(t, tr)
+	if len(got) != len(keys) {
+		t.Fatalf("collected %d keys, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Errorf("key %d = %g, want %g", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	dev := blockio.NewMemDevice(4096)
+	if _, err := BulkLoad(dev, 8, mkEntries([]float64{2, 1})); err == nil {
+		t.Error("unsorted input accepted")
+	}
+}
+
+func TestBulkLoadMultiLevel(t *testing.T) {
+	// Small blocks force several levels.
+	dev := blockio.NewMemDevice(128)
+	n := 5000
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = float64(i) * 0.5
+	}
+	tr, err := BulkLoad(dev, 8, mkEntries(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 {
+		t.Errorf("height = %d, want >= 3 with 128B blocks", tr.Height())
+	}
+	got := collect(t, tr)
+	if len(got) != n {
+		t.Fatalf("collected %d, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d mismatch", i)
+		}
+	}
+	// Values carried through: SearchCeil on each key returns ordinal.
+	for i := 0; i < n; i += 97 {
+		c, err := tr.SearchCeil(keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Key() != keys[i] || dec8(c.Value()) != uint64(i) {
+			t.Fatalf("SearchCeil(%g): key=%g val=%d", keys[i], c.Key(), dec8(c.Value()))
+		}
+	}
+}
+
+func TestSearchCeilSemantics(t *testing.T) {
+	dev := blockio.NewMemDevice(128)
+	keys := []float64{10, 20, 20, 20, 30, 40}
+	tr, err := BulkLoad(dev, 8, mkEntries(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{-1, 10}, {10, 10}, {10.5, 20}, {20, 20}, {25, 30}, {40, 40},
+	}
+	for _, c := range cases {
+		cur, err := tr.SearchCeil(c.x)
+		if err != nil {
+			t.Fatalf("SearchCeil(%g): %v", c.x, err)
+		}
+		if cur.Key() != c.want {
+			t.Errorf("SearchCeil(%g) = %g, want %g", c.x, cur.Key(), c.want)
+		}
+	}
+	if _, err := tr.SearchCeil(41); err != ErrNotFound {
+		t.Errorf("SearchCeil past end = %v, want ErrNotFound", err)
+	}
+	// Duplicate run: first of the duplicates is returned, and scanning
+	// yields all of them.
+	cur, _ := tr.SearchCeil(20)
+	count := 0
+	for cur.Key() == 20 {
+		count++
+		if !cur.Next() {
+			break
+		}
+	}
+	if count != 3 {
+		t.Errorf("duplicate scan found %d copies, want 3", count)
+	}
+}
+
+func TestInsertSequential(t *testing.T) {
+	dev := blockio.NewMemDevice(128)
+	tr, err := New(dev, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(float64(i), val8(uint64(i))); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	if tr.Len() != n {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	got := collect(t, tr)
+	if len(got) != n {
+		t.Fatalf("collected %d", len(got))
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Error("keys not sorted")
+	}
+	k, v, err := tr.Last()
+	if err != nil || k != n-1 || dec8(v) != n-1 {
+		t.Errorf("Last = (%g, %d, %v)", k, dec8(v), err)
+	}
+}
+
+func TestInsertRandomOrder(t *testing.T) {
+	dev := blockio.NewMemDevice(256)
+	tr, err := New(dev, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	keys := rng.Perm(3000)
+	for _, k := range keys {
+		if err := tr.Insert(float64(k), val8(uint64(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, tr)
+	if len(got) != len(keys) {
+		t.Fatalf("collected %d, want %d", len(got), len(keys))
+	}
+	for i := range got {
+		if got[i] != float64(i) {
+			t.Fatalf("key %d = %g", i, got[i])
+		}
+	}
+	// Spot-check value association.
+	for probe := 0; probe < 3000; probe += 131 {
+		c, err := tr.SearchCeil(float64(probe))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec8(c.Value()) != uint64(probe) {
+			t.Fatalf("value for %d = %d", probe, dec8(c.Value()))
+		}
+	}
+}
+
+func TestInsertIntoBulkLoaded(t *testing.T) {
+	dev := blockio.NewMemDevice(128)
+	keys := make([]float64, 500)
+	for i := range keys {
+		keys[i] = float64(i * 2) // evens
+	}
+	tr, err := BulkLoad(dev, 8, mkEntries(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(float64(i*2+1), val8(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, tr)
+	if len(got) != 1000 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != float64(i) {
+			t.Fatalf("key %d = %g", i, got[i])
+		}
+	}
+}
+
+func TestValueSizeValidation(t *testing.T) {
+	dev := blockio.NewMemDevice(4096)
+	tr, err := New(dev, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(1, make([]byte, 8)); err == nil {
+		t.Error("wrong value size accepted by Insert")
+	}
+	if _, err := BulkLoad(blockio.NewMemDevice(4096), 16, []Entry{{Key: 1, Value: make([]byte, 4)}}); err == nil {
+		t.Error("wrong value size accepted by BulkLoad")
+	}
+	if _, err := New(blockio.NewMemDevice(32), 64); err == nil {
+		t.Error("impossible geometry accepted")
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	dev := blockio.NewMemDevice(4096)
+	vs := 100
+	tr, err := New(dev, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		v := make([]byte, vs)
+		v[0] = byte(i)
+		v[vs-1] = byte(i * 3)
+		if err := tr.Insert(float64(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i += 37 {
+		c, err := tr.SearchCeil(float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := c.Value()
+		if v[0] != byte(i) || v[vs-1] != byte(i*3) {
+			t.Fatalf("value payload corrupted at %d", i)
+		}
+	}
+}
+
+// Property: bulk-load and insert produce the same key sequence for any
+// random multiset of keys.
+func TestBulkEqualsInsertProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%120 + 1
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = math.Floor(rng.Float64()*50) / 2 // force duplicates
+		}
+		sorted := append([]float64(nil), keys...)
+		sort.Float64s(sorted)
+
+		bl, err := BulkLoad(blockio.NewMemDevice(128), 8, mkEntries(sorted))
+		if err != nil {
+			return false
+		}
+		ins, err := New(blockio.NewMemDevice(128), 8)
+		if err != nil {
+			return false
+		}
+		for i, k := range keys {
+			if err := ins.Insert(k, val8(uint64(i))); err != nil {
+				return false
+			}
+		}
+		a := collectKeys(bl)
+		b := collectKeys(ins)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func collectKeys(tr *Tree) []float64 {
+	c, err := tr.Min()
+	if err != nil {
+		return nil
+	}
+	var keys []float64
+	for {
+		keys = append(keys, c.Key())
+		if !c.Next() {
+			break
+		}
+	}
+	return keys
+}
+
+// Property: SearchCeil agrees with a sorted-slice reference.
+func TestSearchCeilMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = math.Floor(rng.Float64() * 100)
+		}
+		sort.Float64s(keys)
+		tr, err := BulkLoad(blockio.NewMemDevice(128), 8, mkEntries(keys))
+		if err != nil {
+			return false
+		}
+		for probe := 0; probe < 30; probe++ {
+			x := rng.Float64()*120 - 10
+			idx := sort.SearchFloat64s(keys, x)
+			c, err := tr.SearchCeil(x)
+			if idx == n {
+				if err != ErrNotFound {
+					return false
+				}
+				continue
+			}
+			if err != nil || c.Key() != keys[idx] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeOnFileDevice(t *testing.T) {
+	dev, err := blockio.OpenFileDevice(t.TempDir()+"/tree.bin", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	keys := make([]float64, 1000)
+	for i := range keys {
+		keys[i] = float64(i)
+	}
+	tr, err := BulkLoad(dev, 8, mkEntries(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, tr)
+	if len(got) != 1000 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestIOCountsScaleWithHeight(t *testing.T) {
+	dev := blockio.NewMemDevice(128)
+	keys := make([]float64, 20000)
+	for i := range keys {
+		keys[i] = float64(i)
+	}
+	tr, err := BulkLoad(dev, 8, mkEntries(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.ResetStats()
+	if _, err := tr.SearchCeil(10000); err != nil {
+		t.Fatal(err)
+	}
+	reads := dev.Stats().Reads
+	if int(reads) < tr.Height() || int(reads) > tr.Height()+1 {
+		t.Errorf("search reads = %d, height = %d: want one read per level", reads, tr.Height())
+	}
+}

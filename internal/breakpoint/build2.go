@@ -1,0 +1,303 @@
+package breakpoint
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"temporalrank/internal/tsdata"
+)
+
+// Build2Baseline constructs BREAKPOINTS2 with the per-object max rule:
+// a breakpoint is placed whenever some object accumulates εM of
+// |aggregate| since the previous breakpoint. This is the paper's
+// baseline (BREAKPOINTS2-B): after each cut, every object's running
+// integral is recomputed, costing O(rm) on top of the O(N log N) sweep.
+func Build2Baseline(ds *tsdata.Dataset, eps float64) (*Set, error) {
+	return build2(ds, eps, false)
+}
+
+// Build2 constructs BREAKPOINTS2 with the lazy-refinement candidate
+// heap (BREAKPOINTS2-E): identical output to Build2Baseline, without
+// the per-cut O(m) reset.
+func Build2(ds *tsdata.Dataset, eps float64) (*Set, error) {
+	return build2(ds, eps, true)
+}
+
+// objState tracks one object during the sweep.
+type objState struct {
+	cur     tsdata.Segment // last segment popped for this object
+	hasCur  bool
+	acc     float64 // |σ_i|(lastReset_i, cur.T2): integral of processed data since this object's last accounted reset
+	resetAt float64 // the breakpoint time acc is measured from
+	seq     int     // candidate sequence number (stale-entry detection)
+}
+
+// candidate is a heap entry: a lower bound on the time object obj next
+// reaches εM of accumulated |aggregate| since the breakpoint current at
+// epoch.
+type candidate struct {
+	t     float64
+	obj   tsdata.SeriesID
+	seq   int
+	epoch int
+}
+
+type candHeap []candidate
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func build2(ds *tsdata.Dataset, eps float64, lazy bool) (*Set, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("breakpoint: eps must be positive, got %g", eps)
+	}
+	M := ds.M()
+	threshold := eps * M
+	if threshold <= 0 {
+		return nil, fmt.Errorf("breakpoint: zero-mass dataset")
+	}
+	flat := ds.FlatSegments()
+	m := ds.NumSeries()
+
+	states := make([]objState, m)
+	for i := range states {
+		states[i].resetAt = ds.Start()
+	}
+	var cands candHeap
+	epoch := 0
+	lastBP := ds.Start()
+	times := []float64{ds.Start()}
+
+	// refresh recomputes object i's exact candidate under the current
+	// breakpoint and pushes it; it also re-bases acc to lastBP.
+	refresh := func(i int) {
+		st := &states[i]
+		if !st.hasCur {
+			return
+		}
+		if st.resetAt < lastBP {
+			// Drop the part of acc that precedes the current breakpoint.
+			// Only the current segment can straddle lastBP (any earlier
+			// segment of this object ended before some segment started
+			// at or before lastBP).
+			st.acc = st.cur.AbsIntegralOver(lastBP, st.cur.T2)
+			st.resetAt = lastBP
+		}
+		if st.acc < threshold {
+			return
+		}
+		// The crossing lies within the current segment's processed span.
+		from := math.Max(lastBP, st.cur.T1)
+		already := st.acc - st.cur.AbsIntegralOver(from, st.cur.T2)
+		t, ok := st.cur.SolveAbsIntegralForward(from, threshold-already)
+		if !ok {
+			return
+		}
+		st.seq++
+		heap.Push(&cands, candidate{t: t, obj: tsdata.SeriesID(i), seq: st.seq, epoch: epoch})
+	}
+
+	// nextFire returns the exact earliest crossing among candidates,
+	// lazily re-keying stale entries (whose times are valid lower
+	// bounds, since cuts only push crossings later).
+	nextFire := func() (candidate, bool) {
+		for len(cands) > 0 {
+			top := cands[0]
+			st := &states[top.obj]
+			if top.seq != st.seq {
+				heap.Pop(&cands) // superseded
+				continue
+			}
+			if top.epoch == epoch {
+				return top, true
+			}
+			// Stale: recompute under the current breakpoint.
+			heap.Pop(&cands)
+			refresh(int(top.obj))
+		}
+		return candidate{}, false
+	}
+
+	// emit places a breakpoint at bp and resets accounting.
+	emit := func(bp float64) {
+		if bp <= times[len(times)-1] {
+			return // numeric noise; never move backwards
+		}
+		times = append(times, bp)
+		lastBP = bp
+		epoch++
+		if !lazy {
+			// Baseline: recompute every object immediately (O(m) per cut).
+			for i := range states {
+				states[i].seq++ // invalidate all outstanding candidates
+			}
+			cands = cands[:0]
+			for i := range states {
+				refresh(i)
+			}
+		}
+		// Lazy mode: outstanding candidates stay as lower bounds and are
+		// re-keyed on demand by nextFire.
+	}
+
+	// fireBefore emits every crossing that occurs strictly before limit.
+	fireBefore := func(limit float64) {
+		for {
+			c, ok := nextFire()
+			if !ok || c.t >= limit {
+				return
+			}
+			emit(c.t)
+			// The firing object may cross again within its current
+			// segment under the new breakpoint.
+			refresh(int(c.obj))
+		}
+	}
+
+	for _, ref := range flat {
+		fireBefore(ref.Segment.T1)
+		st := &states[ref.Series]
+		// Fold the new segment into the object's accumulator.
+		if st.resetAt < lastBP {
+			if st.hasCur {
+				st.acc = st.cur.AbsIntegralOver(lastBP, st.cur.T2)
+			} else {
+				st.acc = 0
+			}
+			st.resetAt = lastBP
+		}
+		st.acc += ref.Segment.AbsIntegralOver(math.Max(lastBP, ref.Segment.T1), ref.Segment.T2)
+		st.cur = ref.Segment
+		st.hasCur = true
+		if st.acc >= threshold {
+			refresh(int(ref.Series))
+		}
+	}
+	fireBefore(math.Inf(1))
+
+	if last := times[len(times)-1]; last < ds.End() {
+		times = append(times, ds.End())
+	}
+	return &Set{Times: times, Epsilon: eps, M: M}, nil
+}
+
+// Build2WithTargetR bisects ε so that Build2 yields approximately r
+// breakpoints (within the given tolerance or 40 iterations). This is
+// how the §5 experiments compare B1 and B2 "given the same budget r":
+// BREAKPOINTS1 fixes r = 1/ε+1, while BREAKPOINTS2's r depends on the
+// data, so the effective ε achieving a budget must be searched.
+func Build2WithTargetR(ds *tsdata.Dataset, r int, lazy bool) (*Set, error) {
+	if r < 2 {
+		return nil, fmt.Errorf("breakpoint: target r must be >= 2, got %d", r)
+	}
+	builder := Build2
+	if !lazy {
+		builder = Build2Baseline
+	}
+	lo, hi := 1e-12, 1.0 // ε range; smaller ε -> more breakpoints
+	var best *Set
+	for iter := 0; iter < 40; iter++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection over magnitudes
+		s, err := builder(ds, mid)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || absInt(s.R()-r) < absInt(best.R()-r) {
+			best = s
+		}
+		switch {
+		case s.R() == r:
+			return s, nil
+		case s.R() > r:
+			lo = mid
+		default:
+			hi = mid
+		}
+	}
+	return best, nil
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Extend repairs a breakpoint set after appends: every breakpoint at
+// or after firstNew (the earliest left endpoint of any appended
+// segment) is discarded and the max-rule sweep is re-run from the last
+// surviving breakpoint to the new end of the data, keeping the set's
+// original threshold tau = epsilon*M_build fixed - the paragraph-4 update scheme:
+// "always constructing breakpoints (and the index structures on top of
+// them) using a fixed value of tau, and when M doubles, we rebuild".
+// Gaps before firstNew received no new mass, so Lemma 2 keeps holding
+// for them; re-emitted gaps satisfy it by construction.
+func (s *Set) Extend(ds *tsdata.Dataset, firstNew float64) error {
+	threshold := s.Epsilon * s.M // fixed tau from build time
+	if threshold <= 0 {
+		return fmt.Errorf("breakpoint: set has no threshold")
+	}
+	// Keep breakpoints strictly before firstNew (always keep b0).
+	keep := sort.SearchFloat64s(s.Times, firstNew)
+	if keep < 1 {
+		keep = 1
+	}
+	s.Times = s.Times[:keep]
+	last := s.Times[keep-1]
+	if ds.End() <= last {
+		return nil
+	}
+	// Repeatedly emit the earliest crossing of tau after `last` across
+	// all objects. O(m * tail) per emitted breakpoint; adequate for the
+	// incremental-update path (full rebuilds use Build2).
+	for {
+		next := math.Inf(1)
+		for _, ser := range ds.AllSeries() {
+			if ser.End() <= last {
+				continue
+			}
+			acc := 0.0
+			j := ser.SegmentAt(math.Max(last, ser.Start()))
+			for ; j < ser.NumSegments(); j++ {
+				seg := ser.Segment(j)
+				from := math.Max(last, seg.T1)
+				if from >= seg.T2 {
+					continue
+				}
+				area := seg.AbsIntegralOver(from, seg.T2)
+				if acc+area >= threshold {
+					t, ok := seg.SolveAbsIntegralForward(from, threshold-acc)
+					if ok && t < next {
+						next = t
+					}
+					break
+				}
+				acc += area
+			}
+		}
+		if math.IsInf(next, 1) {
+			break
+		}
+		if next <= last {
+			return fmt.Errorf("breakpoint: extend stalled at %g", next)
+		}
+		s.Times = append(s.Times, next)
+		last = next
+	}
+	if last < ds.End() {
+		s.Times = append(s.Times, ds.End())
+	}
+	return nil
+}

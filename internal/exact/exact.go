@@ -1,0 +1,72 @@
+// Package exact implements the paper's three exact methods for
+// aggregate top-k queries on temporal data (§2):
+//
+//   - Exact1: one B+-tree over all N segments keyed by left endpoint;
+//     a query scans every segment overlapping [t1,t2] maintaining m
+//     running sums. O(log_B N + Σq_i/B) IOs, degrading to O(N/B).
+//   - Exact2: a forest of m B+-trees, one per object, with prefix sums
+//     σ_i(I_{i,ℓ}) in the leaves; a query does two searches per tree
+//     and applies Eq. (2). O(Σ log_B n_i) IOs.
+//   - Exact3: a single external interval tree over the I⁻ interval
+//     decomposition of all objects; a query is two stabbing queries.
+//     O(log_B N + m/B) IOs — the paper's best exact method.
+//
+// All three return identical answers; they differ only in IO behaviour.
+package exact
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"temporalrank/internal/blockio"
+	"temporalrank/internal/topk"
+	"temporalrank/internal/tsdata"
+)
+
+// Method is the common behaviour of the exact indexes (and is also
+// satisfied by the approximate indexes in internal/approx, which lets
+// the experiment harness treat all eight methods uniformly).
+type Method interface {
+	// Name returns the paper's name for the method (e.g. "EXACT3").
+	Name() string
+	// TopK answers top-k(t1,t2,sum): the k objects with the largest
+	// σ_i(t1,t2), ordered by descending aggregate score.
+	TopK(k int, t1, t2 float64) ([]topk.Item, error)
+	// Score returns the method's estimate of σ_i(t1,t2) for one object
+	// (exact methods return the exact value).
+	Score(id tsdata.SeriesID, t1, t2 float64) (float64, error)
+	// Device exposes the index's block device for IO accounting.
+	Device() blockio.Device
+	// IndexPages returns the number of live pages the index occupies.
+	IndexPages() int
+	// Append applies the §4 update model: extend object id with a new
+	// segment ending at (t, v).
+	Append(id tsdata.SeriesID, t, v float64) error
+}
+
+// collectTopK runs the shared final step of every method: push all m
+// aggregate scores through a size-k priority queue.
+func collectTopK(k int, scores []float64) []topk.Item {
+	c := topk.NewCollector(k)
+	for i, s := range scores {
+		c.Add(tsdata.SeriesID(i), s)
+	}
+	return c.Results()
+}
+
+func putF64(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }
+func getF64(b []byte) float64    { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
+
+func putSeriesID(b []byte, id tsdata.SeriesID) { binary.LittleEndian.PutUint32(b, uint32(id)) }
+func getSeriesID(b []byte) tsdata.SeriesID     { return tsdata.SeriesID(binary.LittleEndian.Uint32(b)) }
+
+func validateQuery(t1, t2 float64) error {
+	if math.IsNaN(t1) || math.IsNaN(t2) || math.IsInf(t1, 0) || math.IsInf(t2, 0) {
+		return fmt.Errorf("exact: non-finite query interval [%g,%g]", t1, t2)
+	}
+	if t2 < t1 {
+		return fmt.Errorf("exact: inverted query interval [%g,%g]", t1, t2)
+	}
+	return nil
+}

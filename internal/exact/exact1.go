@@ -1,0 +1,224 @@
+package exact
+
+import (
+	"fmt"
+
+	"temporalrank/internal/blockio"
+	"temporalrank/internal/bptree"
+	"temporalrank/internal/extsort"
+	"temporalrank/internal/topk"
+	"temporalrank/internal/tsdata"
+)
+
+// exact1ValueSize is the leaf payload: series id (4) + T2, V1, V2 (24).
+// The segment's left endpoint T1 is the tree key.
+const exact1ValueSize = 4 + 24
+
+// Exact1 is the paper's improved baseline: all N segments in one
+// B+-tree keyed by left endpoint; queries sweep the leaf level across
+// the query range maintaining one running sum per object.
+type Exact1 struct {
+	dev  blockio.Device
+	tree *bptree.Tree
+	m    int
+
+	// maxDur is the longest segment duration in the index. A segment
+	// overlapping [t1,t2] must have T1 in (t1-maxDur, t2], so the leaf
+	// sweep starts at SearchCeil(t1-maxDur). The paper starts the scan
+	// "at the segments containing t1", which a B+-tree on left
+	// endpoints cannot locate exactly when segments straddle t1; the
+	// maxDur look-back makes the sweep provably complete while keeping
+	// the same asymptotics for realistic (short-segment) data.
+	maxDur float64
+
+	// frontier[i] is object i's current last vertex, so Append(id,t,v)
+	// can form the new segment (the §4 update model appends at the
+	// current time instance only).
+	frontier []vertex
+}
+
+type vertex struct{ t, v float64 }
+
+// BuildExact1 bulk-loads the index from the dataset onto dev.
+func BuildExact1(dev blockio.Device, ds *tsdata.Dataset) (*Exact1, error) {
+	flat := ds.FlatSegments()
+	entries := make([]bptree.Entry, len(flat))
+	var maxDur float64
+	for i, ref := range flat {
+		v := make([]byte, exact1ValueSize)
+		putSeriesID(v[0:], ref.Series)
+		putF64(v[4:], ref.Segment.T2)
+		putF64(v[12:], ref.Segment.V1)
+		putF64(v[20:], ref.Segment.V2)
+		entries[i] = bptree.Entry{Key: ref.Segment.T1, Value: v}
+		if d := ref.Segment.Duration(); d > maxDur {
+			maxDur = d
+		}
+	}
+	tree, err := bptree.BulkLoad(dev, exact1ValueSize, entries)
+	if err != nil {
+		return nil, fmt.Errorf("exact1: bulk load: %w", err)
+	}
+	frontier := make([]vertex, ds.NumSeries())
+	for i, s := range ds.AllSeries() {
+		frontier[i] = vertex{t: s.End(), v: s.VertexValue(s.NumSegments())}
+	}
+	return &Exact1{dev: dev, tree: tree, m: ds.NumSeries(), maxDur: maxDur, frontier: frontier}, nil
+}
+
+// BuildExact1External builds the same index through the out-of-core
+// path: segments are externally sorted on scratch (internal/extsort, a
+// stand-in for TPIE's sort) with an in-memory budget of budgetRecords
+// records, then bulk-loaded. Byte-for-byte equivalent to BuildExact1;
+// used when N exceeds memory.
+func BuildExact1External(dev, scratch blockio.Device, ds *tsdata.Dataset, budgetRecords int) (*Exact1, error) {
+	const recSize = 8 + exact1ValueSize // key T1 + value payload
+	sorter, err := extsort.New(scratch, recSize, budgetRecords, func(a, b []byte) bool {
+		ka := getF64(a[0:])
+		kb := getF64(b[0:])
+		if ka != kb {
+			return ka < kb
+		}
+		// Tie-break on (series, left endpoint already equal): keep the
+		// same deterministic order as Dataset.FlatSegments.
+		return getSeriesID(a[8:]) < getSeriesID(b[8:])
+	})
+	if err != nil {
+		return nil, err
+	}
+	var maxDur float64
+	rec := make([]byte, recSize)
+	for _, s := range ds.AllSeries() {
+		for j := 0; j < s.NumSegments(); j++ {
+			seg := s.Segment(j)
+			putF64(rec[0:], seg.T1)
+			putSeriesID(rec[8:], s.ID)
+			putF64(rec[12:], seg.T2)
+			putF64(rec[20:], seg.V1)
+			putF64(rec[28:], seg.V2)
+			if err := sorter.Add(rec); err != nil {
+				return nil, err
+			}
+			if d := seg.Duration(); d > maxDur {
+				maxDur = d
+			}
+		}
+	}
+	it, err := sorter.Sort()
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]bptree.Entry, 0, ds.NumSegments())
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		v := make([]byte, exact1ValueSize)
+		copy(v, r[8:])
+		entries = append(entries, bptree.Entry{Key: getF64(r[0:]), Value: v})
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	tree, err := bptree.BulkLoad(dev, exact1ValueSize, entries)
+	if err != nil {
+		return nil, fmt.Errorf("exact1: bulk load: %w", err)
+	}
+	frontier := make([]vertex, ds.NumSeries())
+	for i, s := range ds.AllSeries() {
+		frontier[i] = vertex{t: s.End(), v: s.VertexValue(s.NumSegments())}
+	}
+	return &Exact1{dev: dev, tree: tree, m: ds.NumSeries(), maxDur: maxDur, frontier: frontier}, nil
+}
+
+// Name implements Method.
+func (e *Exact1) Name() string { return "EXACT1" }
+
+// Device implements Method.
+func (e *Exact1) Device() blockio.Device { return e.dev }
+
+// IndexPages implements Method.
+func (e *Exact1) IndexPages() int { return e.dev.NumPages() }
+
+// TopK implements Method.
+func (e *Exact1) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
+	sums, err := e.runningSums(t1, t2)
+	if err != nil {
+		return nil, err
+	}
+	return collectTopK(k, sums), nil
+}
+
+// Score implements Method. Exact1 has no per-object access path, so
+// this performs the same sweep and picks one sum; it exists to satisfy
+// the interface (the harness only calls Score on approximate methods
+// and on Exact2/Exact3).
+func (e *Exact1) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
+	sums, err := e.runningSums(t1, t2)
+	if err != nil {
+		return 0, err
+	}
+	if int(id) >= len(sums) {
+		return 0, fmt.Errorf("exact1: unknown series %d", id)
+	}
+	return sums[id], nil
+}
+
+// runningSums performs the leaf sweep, returning σ_i(t1,t2) for all i.
+func (e *Exact1) runningSums(t1, t2 float64) ([]float64, error) {
+	if err := validateQuery(t1, t2); err != nil {
+		return nil, err
+	}
+	sums := make([]float64, e.m)
+	cur, err := e.tree.SearchCeil(t1 - e.maxDur)
+	if err == bptree.ErrNotFound {
+		return sums, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	for {
+		segT1 := cur.Key()
+		if segT1 > t2 {
+			break
+		}
+		v := cur.Value()
+		id := getSeriesID(v[0:])
+		seg := tsdata.Segment{T1: segT1, T2: getF64(v[4:]), V1: getF64(v[12:]), V2: getF64(v[20:])}
+		sums[id] += seg.IntegralOver(t1, t2)
+		if !cur.Next() {
+			break
+		}
+	}
+	if cur.Err() != nil {
+		return nil, cur.Err()
+	}
+	return sums, nil
+}
+
+// Append implements Method: O(log_B N) insert of the new segment
+// formed by the object's current frontier and the new vertex (t, v).
+func (e *Exact1) Append(id tsdata.SeriesID, t, v float64) error {
+	if int(id) >= e.m || id < 0 {
+		return fmt.Errorf("exact1: unknown series %d", id)
+	}
+	fr := e.frontier[id]
+	seg := tsdata.Segment{T1: fr.t, T2: t, V1: fr.v, V2: v}
+	if err := seg.Validate(); err != nil {
+		return err
+	}
+	val := make([]byte, exact1ValueSize)
+	putSeriesID(val[0:], id)
+	putF64(val[4:], seg.T2)
+	putF64(val[12:], seg.V1)
+	putF64(val[20:], seg.V2)
+	if d := seg.Duration(); d > e.maxDur {
+		e.maxDur = d
+	}
+	if err := e.tree.Insert(seg.T1, val); err != nil {
+		return err
+	}
+	e.frontier[id] = vertex{t: t, v: v}
+	return nil
+}

@@ -1,0 +1,173 @@
+package exact
+
+import (
+	"fmt"
+
+	"temporalrank/internal/blockio"
+	"temporalrank/internal/bptree"
+	"temporalrank/internal/topk"
+	"temporalrank/internal/tsdata"
+)
+
+// exact2ValueSize is the per-entry payload of an object tree T_i:
+// V1, V2 of segment g_{i,ℓ} (its endpoints in time are [previous key,
+// key]) plus T1 (the segment's left endpoint, needed because keys of
+// neighbouring entries are not co-resident in a page) and the prefix
+// aggregate σ_i(I_{i,ℓ}). The segment right endpoint t_{i,ℓ} is the
+// tree key.
+const exact2ValueSize = 8 + 8 + 8 + 8 // T1, V1, V2, prefix
+
+// Exact2 is the "forest of B+-trees" method: one prefix-sum tree per
+// object. A query runs Eq. (2) against every tree.
+type Exact2 struct {
+	dev   blockio.Device
+	trees []*bptree.Tree
+	// Per-object domains for query clamping.
+	starts, ends []float64
+	frontier     []vertex
+}
+
+// BuildExact2 bulk-loads the m object trees onto dev.
+func BuildExact2(dev blockio.Device, ds *tsdata.Dataset) (*Exact2, error) {
+	m := ds.NumSeries()
+	e := &Exact2{
+		dev:      dev,
+		trees:    make([]*bptree.Tree, m),
+		starts:   make([]float64, m),
+		ends:     make([]float64, m),
+		frontier: make([]vertex, m),
+	}
+	for i, s := range ds.AllSeries() {
+		n := s.NumSegments()
+		entries := make([]bptree.Entry, n)
+		for j := 0; j < n; j++ {
+			seg := s.Segment(j)
+			v := make([]byte, exact2ValueSize)
+			putF64(v[0:], seg.T1)
+			putF64(v[8:], seg.V1)
+			putF64(v[16:], seg.V2)
+			putF64(v[24:], s.Prefix(j+1))
+			entries[j] = bptree.Entry{Key: seg.T2, Value: v}
+		}
+		tree, err := bptree.BulkLoad(dev, exact2ValueSize, entries)
+		if err != nil {
+			return nil, fmt.Errorf("exact2: bulk load tree %d: %w", i, err)
+		}
+		e.trees[i] = tree
+		e.starts[i] = s.Start()
+		e.ends[i] = s.End()
+		e.frontier[i] = vertex{t: s.End(), v: s.VertexValue(n)}
+	}
+	return e, nil
+}
+
+// Name implements Method.
+func (e *Exact2) Name() string { return "EXACT2" }
+
+// Device implements Method.
+func (e *Exact2) Device() blockio.Device { return e.dev }
+
+// IndexPages implements Method.
+func (e *Exact2) IndexPages() int { return e.dev.NumPages() }
+
+// TopK implements Method.
+func (e *Exact2) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
+	if err := validateQuery(t1, t2); err != nil {
+		return nil, err
+	}
+	sums := make([]float64, len(e.trees))
+	for i := range e.trees {
+		s, err := e.Score(tsdata.SeriesID(i), t1, t2)
+		if err != nil {
+			return nil, err
+		}
+		sums[i] = s
+	}
+	return collectTopK(k, sums), nil
+}
+
+// Score implements Method: Eq. (2) with two O(log_B n_i) searches.
+func (e *Exact2) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
+	if id < 0 || int(id) >= len(e.trees) {
+		return 0, fmt.Errorf("exact2: unknown series %d", id)
+	}
+	if err := validateQuery(t1, t2); err != nil {
+		return 0, err
+	}
+	// Clamp to the object's domain; g_i is 0 outside it.
+	if t1 < e.starts[id] {
+		t1 = e.starts[id]
+	}
+	if t2 > e.ends[id] {
+		t2 = e.ends[id]
+	}
+	if t2 <= t1 {
+		return 0, nil
+	}
+	hi, err := e.sigmaTo(id, t2)
+	if err != nil {
+		return 0, err
+	}
+	lo, err := e.sigmaTo(id, t1)
+	if err != nil {
+		return 0, err
+	}
+	return hi - lo, nil
+}
+
+// sigmaTo returns σ_i(t_{i,0}, t) for t within the object's domain:
+// locate the entry e_L whose key t_{i,L} is the first >= t, then
+// subtract the part of segment g_L beyond t from the stored prefix.
+func (e *Exact2) sigmaTo(id tsdata.SeriesID, t float64) (float64, error) {
+	cur, err := e.trees[id].SearchCeil(t)
+	if err == bptree.ErrNotFound {
+		// t is past the last key: the object's domain was clamped, so
+		// this is only reachable through floating-point equality edge
+		// cases; the full prefix applies.
+		_, v, lerr := e.trees[id].Last()
+		if lerr != nil {
+			return 0, lerr
+		}
+		return getF64(v[24:]), nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	key := cur.Key()
+	v := cur.Value()
+	seg := tsdata.Segment{T1: getF64(v[0:]), T2: key, V1: getF64(v[8:]), V2: getF64(v[16:])}
+	prefix := getF64(v[24:])
+	return prefix - seg.IntegralOver(t, key), nil
+}
+
+// Append implements Method: O(log_B n_i) — fetch σ_i(I_{i,n_i}) from
+// the last entry of T_i, extend it with the new trapezoid, insert.
+func (e *Exact2) Append(id tsdata.SeriesID, t, v float64) error {
+	if id < 0 || int(id) >= len(e.trees) {
+		return fmt.Errorf("exact2: unknown series %d", id)
+	}
+	fr := e.frontier[id]
+	seg := tsdata.Segment{T1: fr.t, T2: t, V1: fr.v, V2: v}
+	if err := seg.Validate(); err != nil {
+		return err
+	}
+	_, lastVal, err := e.trees[id].Last()
+	if err != nil {
+		return err
+	}
+	prefix := getF64(lastVal[24:]) + seg.Integral()
+	val := make([]byte, exact2ValueSize)
+	putF64(val[0:], seg.T1)
+	putF64(val[8:], seg.V1)
+	putF64(val[16:], seg.V2)
+	putF64(val[24:], prefix)
+	if err := e.trees[id].Insert(seg.T2, val); err != nil {
+		return err
+	}
+	e.frontier[id] = vertex{t: t, v: v}
+	e.ends[id] = t
+	return nil
+}
+
+// NumTrees returns m (diagnostics).
+func (e *Exact2) NumTrees() int { return len(e.trees) }

@@ -1,0 +1,476 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"temporalrank/internal/blockio"
+	"temporalrank/internal/topk"
+	"temporalrank/internal/tsdata"
+)
+
+// --- fixtures --------------------------------------------------------
+
+func randomSeries(rng *rand.Rand, id tsdata.SeriesID, n int, negative bool) *tsdata.Series {
+	times := make([]float64, n+1)
+	values := make([]float64, n+1)
+	t := rng.Float64() * 3
+	for j := 0; j <= n; j++ {
+		times[j] = t
+		t += 0.2 + rng.Float64()*2
+		v := rng.Float64() * 100
+		if negative {
+			v -= 50
+		}
+		values[j] = v
+	}
+	s, err := tsdata.NewSeries(id, times, values)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func randomDataset(seed int64, m, maxSegs int, negative bool) *tsdata.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	series := make([]*tsdata.Series, m)
+	for i := 0; i < m; i++ {
+		series[i] = randomSeries(rng, tsdata.SeriesID(i), 1+rng.Intn(maxSegs), negative)
+	}
+	d, err := tsdata.NewDataset(series)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// referenceTopK computes the ground truth with the in-memory prefix
+// arrays.
+func referenceTopK(ds *tsdata.Dataset, k int, t1, t2 float64) []topk.Item {
+	c := topk.NewCollector(k)
+	for _, s := range ds.AllSeries() {
+		c.Add(s.ID, s.Range(t1, t2))
+	}
+	return c.Results()
+}
+
+func buildAll(t *testing.T, ds *tsdata.Dataset) []Method {
+	t.Helper()
+	e1, err := BuildExact1(blockio.NewMemDevice(512), ds)
+	if err != nil {
+		t.Fatalf("BuildExact1: %v", err)
+	}
+	e2, err := BuildExact2(blockio.NewMemDevice(512), ds)
+	if err != nil {
+		t.Fatalf("BuildExact2: %v", err)
+	}
+	e3, err := BuildExact3(blockio.NewMemDevice(512), ds)
+	if err != nil {
+		t.Fatalf("BuildExact3: %v", err)
+	}
+	return []Method{e1, e2, e3}
+}
+
+func approxEq(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return d <= tol
+	}
+	return d <= tol*scale
+}
+
+func itemsMatch(t *testing.T, name string, got, want []topk.Item) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d items, want %d", name, len(got), len(want))
+	}
+	for j := range got {
+		// Scores must agree tightly; IDs may legitimately differ only
+		// on exact ties, which the deterministic tie-break rules out.
+		if !approxEq(got[j].Score, want[j].Score, 1e-9) {
+			t.Fatalf("%s rank %d: score %g, want %g", name, j, got[j].Score, want[j].Score)
+		}
+		if got[j].ID != want[j].ID {
+			t.Fatalf("%s rank %d: ID %d, want %d (scores %g vs %g)",
+				name, j, got[j].ID, want[j].ID, got[j].Score, want[j].Score)
+		}
+	}
+}
+
+// --- correctness -------------------------------------------------------
+
+func TestAllMethodsMatchReference(t *testing.T) {
+	ds := randomDataset(1, 60, 40, false)
+	methods := buildAll(t, ds)
+	rng := rand.New(rand.NewSource(2))
+	span := ds.Span()
+	for q := 0; q < 25; q++ {
+		t1 := ds.Start() + rng.Float64()*span*0.8
+		t2 := t1 + rng.Float64()*(ds.End()-t1)
+		k := 1 + rng.Intn(10)
+		want := referenceTopK(ds, k, t1, t2)
+		for _, m := range methods {
+			got, err := m.TopK(k, t1, t2)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+			itemsMatch(t, m.Name(), got, want)
+		}
+	}
+}
+
+func TestAllMethodsNegativeScores(t *testing.T) {
+	ds := randomDataset(3, 40, 25, true)
+	methods := buildAll(t, ds)
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 15; q++ {
+		t1 := ds.Start() + rng.Float64()*ds.Span()*0.7
+		t2 := t1 + rng.Float64()*(ds.End()-t1)
+		want := referenceTopK(ds, 5, t1, t2)
+		for _, m := range methods {
+			got, err := m.TopK(5, t1, t2)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+			itemsMatch(t, m.Name()+"(neg)", got, want)
+		}
+	}
+}
+
+func TestQueryOutsideDomain(t *testing.T) {
+	ds := randomDataset(5, 10, 10, false)
+	methods := buildAll(t, ds)
+	cases := [][2]float64{
+		{ds.Start() - 10, ds.Start() - 5}, // fully left
+		{ds.End() + 5, ds.End() + 10},     // fully right
+		{ds.Start() - 10, ds.End() + 10},  // covering
+	}
+	for _, c := range cases {
+		want := referenceTopK(ds, 3, c[0], c[1])
+		for _, m := range methods {
+			got, err := m.TopK(3, c[0], c[1])
+			if err != nil {
+				t.Fatalf("%s [%g,%g]: %v", m.Name(), c[0], c[1], err)
+			}
+			itemsMatch(t, m.Name(), got, want)
+		}
+	}
+}
+
+func TestDegenerateInterval(t *testing.T) {
+	ds := randomDataset(6, 10, 10, false)
+	methods := buildAll(t, ds)
+	mid := (ds.Start() + ds.End()) / 2
+	for _, m := range methods {
+		got, err := m.TopK(3, mid, mid)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		for _, it := range got {
+			if it.Score != 0 {
+				t.Errorf("%s: zero-width interval gave score %g", m.Name(), it.Score)
+			}
+		}
+	}
+}
+
+func TestInvalidQueries(t *testing.T) {
+	ds := randomDataset(7, 5, 5, false)
+	methods := buildAll(t, ds)
+	for _, m := range methods {
+		if _, err := m.TopK(3, 5, 2); err == nil {
+			t.Errorf("%s: inverted interval accepted", m.Name())
+		}
+		if _, err := m.TopK(3, math.NaN(), 2); err == nil {
+			t.Errorf("%s: NaN accepted", m.Name())
+		}
+		if _, err := m.TopK(3, 0, math.Inf(1)); err == nil {
+			t.Errorf("%s: Inf accepted", m.Name())
+		}
+	}
+}
+
+func TestScoreMatchesRange(t *testing.T) {
+	ds := randomDataset(8, 20, 20, false)
+	methods := buildAll(t, ds)
+	rng := rand.New(rand.NewSource(9))
+	for q := 0; q < 10; q++ {
+		t1 := ds.Start() + rng.Float64()*ds.Span()/2
+		t2 := t1 + rng.Float64()*(ds.End()-t1)
+		id := tsdata.SeriesID(rng.Intn(ds.NumSeries()))
+		want := ds.Series(id).Range(t1, t2)
+		for _, m := range methods {
+			got, err := m.Score(id, t1, t2)
+			if err != nil {
+				t.Fatalf("%s Score: %v", m.Name(), err)
+			}
+			if !approxEq(got, want, 1e-9) {
+				t.Errorf("%s Score(%d) = %g, want %g", m.Name(), id, got, want)
+			}
+		}
+	}
+	// Unknown series rejected.
+	for _, m := range methods {
+		if _, err := m.Score(tsdata.SeriesID(999), 0, 1); err == nil {
+			t.Errorf("%s: unknown series accepted", m.Name())
+		}
+	}
+}
+
+// --- updates ----------------------------------------------------------
+
+func TestAppendAllMethods(t *testing.T) {
+	ds := randomDataset(10, 15, 10, false)
+	mirror := ds.Clone()
+	methods := buildAll(t, ds)
+	rng := rand.New(rand.NewSource(11))
+
+	// Apply the same appends to the indexes and the in-memory mirror.
+	for step := 0; step < 60; step++ {
+		id := tsdata.SeriesID(rng.Intn(ds.NumSeries()))
+		s := mirror.Series(id)
+		nt := s.End() + 0.1 + rng.Float64()*2
+		nv := rng.Float64() * 100
+		if err := s.Append(nt, nv); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range methods {
+			if err := m.Append(id, nt, nv); err != nil {
+				t.Fatalf("%s append: %v", m.Name(), err)
+			}
+		}
+	}
+	mirror.Refresh()
+
+	for q := 0; q < 15; q++ {
+		t1 := mirror.Start() + rng.Float64()*mirror.Span()*0.8
+		t2 := t1 + rng.Float64()*(mirror.End()-t1)
+		want := referenceTopK(mirror, 5, t1, t2)
+		for _, m := range methods {
+			got, err := m.TopK(5, t1, t2)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+			itemsMatch(t, m.Name()+"(updated)", got, want)
+		}
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	ds := randomDataset(12, 5, 5, false)
+	methods := buildAll(t, ds)
+	for _, m := range methods {
+		if err := m.Append(tsdata.SeriesID(99), 1e9, 0); err == nil {
+			t.Errorf("%s: unknown series append accepted", m.Name())
+		}
+		// Append before the frontier must fail.
+		if err := m.Append(0, ds.Start()-100, 0); err == nil {
+			t.Errorf("%s: backwards append accepted", m.Name())
+		}
+	}
+}
+
+func TestExact3TailCounting(t *testing.T) {
+	ds := randomDataset(13, 5, 5, false)
+	e3, err := BuildExact3(blockio.NewMemDevice(512), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.TailSegments() != 0 {
+		t.Errorf("fresh tail = %d", e3.TailSegments())
+	}
+	if err := e3.Append(0, ds.End()+1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := e3.Append(0, ds.End()+2, 6); err != nil {
+		t.Fatal(err)
+	}
+	if e3.TailSegments() != 2 {
+		t.Errorf("tail = %d, want 2", e3.TailSegments())
+	}
+}
+
+// --- IO behaviour -------------------------------------------------------
+
+// TestIOOrdering verifies the paper's headline comparison: for large m,
+// EXACT3 queries take far fewer IOs than EXACT2, and long intervals make
+// EXACT1 the most expensive (Fig. 13c, 16a).
+func TestIOOrdering(t *testing.T) {
+	ds := randomDataset(14, 150, 60, false)
+	e1, _ := BuildExact1(blockio.NewMemDevice(512), ds)
+	e2, _ := BuildExact2(blockio.NewMemDevice(512), ds)
+	e3, _ := BuildExact3(blockio.NewMemDevice(512), ds)
+
+	t1 := ds.Start() + ds.Span()*0.2
+	t2 := ds.Start() + ds.Span()*0.8 // long interval: 60% of T
+
+	measure := func(m Method) uint64 {
+		m.Device().ResetStats()
+		if _, err := m.TopK(10, t1, t2); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		return m.Device().Stats().Total()
+	}
+	io1, io2, io3 := measure(e1), measure(e2), measure(e3)
+	if io3 >= io2 {
+		t.Errorf("EXACT3 (%d IOs) should beat EXACT2 (%d IOs) at m=150", io3, io2)
+	}
+	if io3 >= io1 {
+		t.Errorf("EXACT3 (%d IOs) should beat EXACT1 (%d IOs) on long intervals", io3, io1)
+	}
+}
+
+// TestExact1IntervalSensitivity: EXACT1's IO cost grows with the query
+// interval while EXACT3's does not appreciably (Fig. 16a).
+func TestExact1IntervalSensitivity(t *testing.T) {
+	ds := randomDataset(15, 50, 80, false)
+	e1, _ := BuildExact1(blockio.NewMemDevice(512), ds)
+	e3, _ := BuildExact3(blockio.NewMemDevice(512), ds)
+
+	frac := func(m Method, f float64) uint64 {
+		t1 := ds.Start() + ds.Span()*0.1
+		t2 := t1 + ds.Span()*f
+		m.Device().ResetStats()
+		if _, err := m.TopK(10, t1, t2); err != nil {
+			t.Fatal(err)
+		}
+		return m.Device().Stats().Total()
+	}
+	small1, large1 := frac(e1, 0.02), frac(e1, 0.6)
+	small3, large3 := frac(e3, 0.02), frac(e3, 0.6)
+	if large1 <= small1 {
+		t.Errorf("EXACT1 IOs should grow with interval: %d -> %d", small1, large1)
+	}
+	if large3 > small3*3 {
+		t.Errorf("EXACT3 IOs should be interval-insensitive: %d -> %d", small3, large3)
+	}
+}
+
+func TestBuildOnFileDevice(t *testing.T) {
+	ds := randomDataset(16, 20, 20, false)
+	dev, err := blockio.OpenFileDevice(t.TempDir()+"/exact3.bin", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	e3, err := BuildExact3(dev, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceTopK(ds, 5, ds.Start(), ds.End())
+	got, err := e3.TopK(5, ds.Start(), ds.End())
+	if err != nil {
+		t.Fatal(err)
+	}
+	itemsMatch(t, "EXACT3(file)", got, want)
+}
+
+func TestSingleSegmentObjects(t *testing.T) {
+	// Boundary shape: every object has exactly one segment.
+	series := make([]*tsdata.Series, 10)
+	for i := range series {
+		s, err := tsdata.NewSeries(tsdata.SeriesID(i),
+			[]float64{0, 10}, []float64{float64(i), float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		series[i] = s
+	}
+	ds, err := tsdata.NewDataset(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := buildAll(t, ds)
+	want := referenceTopK(ds, 3, 2, 8)
+	for _, m := range methods {
+		got, err := m.TopK(3, 2, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		itemsMatch(t, m.Name(), got, want)
+		// Highest-valued object must rank first.
+		if got[0].ID != 9 {
+			t.Errorf("%s: top object = %d, want 9", m.Name(), got[0].ID)
+		}
+	}
+}
+
+func TestExact1ExternalMatchesInMemory(t *testing.T) {
+	ds := randomDataset(30, 25, 30, false)
+	inMem, err := BuildExact1(blockio.NewMemDevice(512), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny budget forces run spilling and merging.
+	ext, err := BuildExact1External(blockio.NewMemDevice(512), blockio.NewMemDevice(512), ds, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for q := 0; q < 15; q++ {
+		t1 := ds.Start() + rng.Float64()*ds.Span()*0.7
+		t2 := t1 + rng.Float64()*(ds.End()-t1)
+		a, err := inMem.TopK(7, t1, t2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ext.TopK(7, t1, t2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		itemsMatch(t, "EXACT1-external", b, a)
+	}
+}
+
+func TestExact3InstantTopK(t *testing.T) {
+	ds := randomDataset(50, 30, 20, false)
+	e3, err := BuildExact3(blockio.NewMemDevice(512), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 25; trial++ {
+		at := ds.Start() + rng.Float64()*ds.Span()
+		want := topk.NewCollector(5)
+		for _, s := range ds.AllSeries() {
+			want.Add(s.ID, s.At(at))
+		}
+		got, err := e3.InstantTopK(5, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		itemsMatch(t, "InstantTopK", got, want.Results())
+	}
+	// After appends, instants inside the tail must evaluate the tail.
+	id := tsdata.SeriesID(0)
+	end := ds.Series(id).End()
+	if err := e3.Append(id, end+2, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e3.InstantTopK(1, end+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || got[0].ID != id {
+		t.Errorf("instant in tail: got %v, want object %d on top", got, id)
+	}
+}
+
+func TestExact3InstantTopKOutsideDomain(t *testing.T) {
+	ds := randomDataset(52, 8, 8, false)
+	e3, err := BuildExact3(blockio.NewMemDevice(512), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e3.InstantTopK(3, ds.End()+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range got {
+		if it.Score != 0 {
+			t.Errorf("score %g beyond domain, want 0", it.Score)
+		}
+	}
+}

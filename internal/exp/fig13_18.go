@@ -1,0 +1,219 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// scaleRow measures size/build/query metrics for one dataset setting —
+// the shared engine behind Figures 13, 14, 19.
+func scaleRow(t *Table, label string, p Params) error {
+	ds, err := p.MakeDataset()
+	if err != nil {
+		return err
+	}
+	qs := p.MakeQueries(ds)
+	builds, err := selectedMethods(ds, p)
+	if err != nil {
+		return err
+	}
+	for _, br := range builds {
+		mm, err := MeasureQueries(br.Method, ds, qs, p.K)
+		if err != nil {
+			return err
+		}
+		t.Rows = append(t.Rows, []string{
+			label, br.Method.Name(),
+			fmtBytes(br.IndexBytes), fmtDur(br.BuildTime),
+			fmtF(mm.AvgIOs), fmtDur(mm.AvgTime),
+		})
+	}
+	return nil
+}
+
+var scaleColumns = []string{"setting", "method", "index bytes", "build time", "query IOs", "query time"}
+
+// Fig13 reproduces the scalability-in-m study (Fig. 13a–d): index
+// size, build time, query IOs and query time for EXACT1/2/3 and
+// APPX1/2/2+ as the number of objects grows.
+func Fig13(w io.Writer, p Params, mSweep []int) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Fig 13: vary m — %s navg=%d k=%d r=%d", p.Dataset, p.Navg, p.K, p.R),
+		Columns: scaleColumns,
+	}
+	for _, m := range mSweep {
+		if err := scaleRow(t, fmt.Sprintf("m=%d", m), p.Scaled(m, 0)); err != nil {
+			return nil, err
+		}
+	}
+	t.Render(w)
+	return t, nil
+}
+
+// Fig14 reproduces the scalability-in-navg study (Fig. 14a–d).
+func Fig14(w io.Writer, p Params, navgSweep []int) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Fig 14: vary navg — %s m=%d k=%d r=%d", p.Dataset, p.M, p.K, p.R),
+		Columns: scaleColumns,
+	}
+	for _, navg := range navgSweep {
+		if err := scaleRow(t, fmt.Sprintf("navg=%d", navg), p.Scaled(0, navg)); err != nil {
+			return nil, err
+		}
+	}
+	t.Render(w)
+	return t, nil
+}
+
+// Fig15 reproduces the quality-vs-scale study (Fig. 15a–d):
+// precision/recall and approximation ratio of APPX1, APPX2, APPX2+ as
+// m and navg grow.
+func Fig15(w io.Writer, p Params, mSweep, navgSweep []int) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Fig 15: quality vs scale — %s k=%d r=%d", p.Dataset, p.K, p.R),
+		Columns: []string{"setting", "method", "prec/recall", "ratio"},
+	}
+	row := func(label string, p Params) error {
+		ds, err := p.MakeDataset()
+		if err != nil {
+			return err
+		}
+		qs := p.MakeQueries(ds)
+		builds, err := selectedMethods(ds, p)
+		if err != nil {
+			return err
+		}
+		for _, br := range builds {
+			if br.Method.Name() == "EXACT1" || br.Method.Name() == "EXACT2" || br.Method.Name() == "EXACT3" {
+				continue
+			}
+			mm, err := MeasureQueries(br.Method, ds, qs, p.K)
+			if err != nil {
+				return err
+			}
+			t.Rows = append(t.Rows, []string{label, br.Method.Name(), fmtF(mm.Precision), fmtF(mm.Ratio)})
+		}
+		return nil
+	}
+	for _, m := range mSweep {
+		if err := row(fmt.Sprintf("m=%d", m), p.Scaled(m, 0)); err != nil {
+			return nil, err
+		}
+	}
+	for _, navg := range navgSweep {
+		if err := row(fmt.Sprintf("navg=%d", navg), p.Scaled(0, navg)); err != nil {
+			return nil, err
+		}
+	}
+	t.Render(w)
+	return t, nil
+}
+
+// Fig16 reproduces the query-interval-length study (Fig. 16a–d): IOs,
+// query time, precision and ratio as (t2-t1) grows from 2% to 50% of
+// T. EXACT1's linear dependence on the interval is the headline.
+func Fig16(w io.Writer, p Params, fracs []float64) (*Table, error) {
+	ds, err := p.MakeDataset()
+	if err != nil {
+		return nil, err
+	}
+	builds, err := selectedMethods(ds, p)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig 16: vary (t2-t1) — %s m=%d navg=%d k=%d", p.Dataset, p.M, p.Navg, p.K),
+		Columns: []string{"(t2-t1)/T", "method", "IOs", "time", "prec/recall", "ratio"},
+	}
+	for _, f := range fracs {
+		pf := p
+		pf.IntervalFrac = f
+		qs := pf.MakeQueries(ds)
+		for _, br := range builds {
+			mm, err := MeasureQueries(br.Method, ds, qs, p.K)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.0f%%", f*100), br.Method.Name(),
+				fmtF(mm.AvgIOs), fmtDur(mm.AvgTime), fmtF(mm.Precision), fmtF(mm.Ratio),
+			})
+		}
+	}
+	t.Render(w)
+	return t, nil
+}
+
+// Fig17 reproduces the vary-k study (Fig. 17a–d).
+func Fig17(w io.Writer, p Params, ks []int) (*Table, error) {
+	ds, err := p.MakeDataset()
+	if err != nil {
+		return nil, err
+	}
+	qs := p.MakeQueries(ds)
+	builds, err := selectedMethods(ds, p)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig 17: vary k — %s m=%d navg=%d kmax=%d", p.Dataset, p.M, p.Navg, p.KMax),
+		Columns: []string{"k", "method", "IOs", "time", "prec/recall", "ratio"},
+	}
+	for _, k := range ks {
+		if k > p.KMax {
+			continue
+		}
+		for _, br := range builds {
+			mm, err := MeasureQueries(br.Method, ds, qs, k)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmtInt(k), br.Method.Name(),
+				fmtF(mm.AvgIOs), fmtDur(mm.AvgTime), fmtF(mm.Precision), fmtF(mm.Ratio),
+			})
+		}
+	}
+	t.Render(w)
+	return t, nil
+}
+
+// Fig18 reproduces the vary-kmax study (Fig. 18a–d): kmax linearly
+// affects the approximate methods' size and build cost but not query
+// cost at fixed k; exact methods are unaffected.
+func Fig18(w io.Writer, p Params, kmaxes []int) (*Table, error) {
+	ds, err := p.MakeDataset()
+	if err != nil {
+		return nil, err
+	}
+	qs := p.MakeQueries(ds)
+	t := &Table{
+		Title:   fmt.Sprintf("Fig 18: vary kmax — %s m=%d navg=%d k=%d r=%d", p.Dataset, p.M, p.Navg, p.K, p.R),
+		Columns: scaleColumns,
+	}
+	for _, kmax := range kmaxes {
+		pk := p
+		pk.KMax = kmax
+		builds, err := selectedMethods(ds, pk)
+		if err != nil {
+			return nil, err
+		}
+		for _, br := range builds {
+			k := p.K
+			if k > kmax {
+				k = kmax
+			}
+			mm, err := MeasureQueries(br.Method, ds, qs, k)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("kmax=%d", kmax), br.Method.Name(),
+				fmtBytes(br.IndexBytes), fmtDur(br.BuildTime),
+				fmtF(mm.AvgIOs), fmtDur(mm.AvgTime),
+			})
+		}
+	}
+	t.Render(w)
+	return t, nil
+}

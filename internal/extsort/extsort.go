@@ -1,0 +1,291 @@
+// Package extsort provides external-memory sorting of fixed-size
+// records over a blockio.Device — the substrate the paper gets from
+// TPIE's sort (its constructions all begin by sorting the N segments,
+// at O((N/B) log_B N) IOs).
+//
+// Records are opaque fixed-size byte strings ordered by a caller
+// comparator. Input is buffered up to a configurable in-memory budget;
+// full buffers are sorted and spilled as runs (chained page sequences);
+// Sort() k-way-merges the runs. With a budget of at least the input
+// size no device pages are used at all, matching how the laptop-scale
+// experiments run while preserving the out-of-core path for big data.
+package extsort
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"temporalrank/internal/blockio"
+)
+
+// Less orders two records.
+type Less func(a, b []byte) bool
+
+// Sorter accumulates records and produces a sorted iterator.
+type Sorter struct {
+	dev        blockio.Device
+	recordSize int
+	budget     int // max in-memory records before spilling
+	less       Less
+
+	buf    [][]byte
+	runs   []runRef
+	sorted bool
+	count  int
+}
+
+// runRef locates a spilled run.
+type runRef struct {
+	head  blockio.PageID
+	count int
+}
+
+const pageHeaderSize = 8 + 2 // next pointer, record count
+
+// New creates a sorter for recordSize-byte records with an in-memory
+// budget of budgetRecords (minimum 16).
+func New(dev blockio.Device, recordSize, budgetRecords int, less Less) (*Sorter, error) {
+	if recordSize <= 0 {
+		return nil, fmt.Errorf("extsort: record size must be positive, got %d", recordSize)
+	}
+	if dev.BlockSize() < pageHeaderSize+recordSize {
+		return nil, fmt.Errorf("extsort: block size %d too small for %d-byte records", dev.BlockSize(), recordSize)
+	}
+	if less == nil {
+		return nil, fmt.Errorf("extsort: nil comparator")
+	}
+	if budgetRecords < 16 {
+		budgetRecords = 16
+	}
+	return &Sorter{dev: dev, recordSize: recordSize, budget: budgetRecords, less: less}, nil
+}
+
+// Len returns the number of records added.
+func (s *Sorter) Len() int { return s.count }
+
+// Runs returns the number of spilled runs (diagnostics).
+func (s *Sorter) Runs() int { return len(s.runs) }
+
+// Add appends one record (copied).
+func (s *Sorter) Add(record []byte) error {
+	if s.sorted {
+		return fmt.Errorf("extsort: Add after Sort")
+	}
+	if len(record) != s.recordSize {
+		return fmt.Errorf("extsort: record is %d bytes, want %d", len(record), s.recordSize)
+	}
+	cp := make([]byte, s.recordSize)
+	copy(cp, record)
+	s.buf = append(s.buf, cp)
+	s.count++
+	if len(s.buf) >= s.budget {
+		return s.spill()
+	}
+	return nil
+}
+
+// spill sorts the buffer and writes it as one run.
+func (s *Sorter) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	sort.SliceStable(s.buf, func(a, b int) bool { return s.less(s.buf[a], s.buf[b]) })
+	perPage := (s.dev.BlockSize() - pageHeaderSize) / s.recordSize
+	numPages := (len(s.buf) + perPage - 1) / perPage
+	pages := make([]blockio.PageID, numPages)
+	for i := range pages {
+		p, err := s.dev.Alloc()
+		if err != nil {
+			return err
+		}
+		pages[i] = p
+	}
+	buf := make([]byte, s.dev.BlockSize())
+	for pi := 0; pi < numPages; pi++ {
+		start := pi * perPage
+		end := start + perPage
+		if end > len(s.buf) {
+			end = len(s.buf)
+		}
+		for i := range buf {
+			buf[i] = 0
+		}
+		next := blockio.InvalidPage
+		if pi+1 < numPages {
+			next = pages[pi+1]
+		}
+		binary.LittleEndian.PutUint64(buf[0:], uint64(int64(next)))
+		binary.LittleEndian.PutUint16(buf[8:], uint16(end-start))
+		off := pageHeaderSize
+		for _, rec := range s.buf[start:end] {
+			copy(buf[off:], rec)
+			off += s.recordSize
+		}
+		if err := s.dev.Write(pages[pi], buf); err != nil {
+			return err
+		}
+	}
+	s.runs = append(s.runs, runRef{head: pages[0], count: len(s.buf)})
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Sort finalizes input and returns an iterator over all records in
+// order. The sorter cannot be reused.
+func (s *Sorter) Sort() (*Iterator, error) {
+	if s.sorted {
+		return nil, fmt.Errorf("extsort: Sort called twice")
+	}
+	s.sorted = true
+	if len(s.runs) == 0 {
+		// Pure in-memory path.
+		sort.SliceStable(s.buf, func(a, b int) bool { return s.less(s.buf[a], s.buf[b]) })
+		return &Iterator{mem: s.buf, less: s.less}, nil
+	}
+	if err := s.spill(); err != nil {
+		return nil, err
+	}
+	it := &Iterator{less: s.less}
+	for _, run := range s.runs {
+		rr, err := newRunReader(s.dev, s.recordSize, run)
+		if err != nil {
+			return nil, err
+		}
+		if rr != nil {
+			it.heap = append(it.heap, rr)
+		}
+	}
+	heap.Init((*readerHeap)(it))
+	return it, nil
+}
+
+// Iterator yields records in sorted order.
+type Iterator struct {
+	// In-memory mode.
+	mem [][]byte
+	pos int
+	// Merge mode.
+	heap []*runReader
+	less Less
+	err  error
+}
+
+// Next returns the next record (aliasing an internal buffer valid
+// until the following Next) and false at the end.
+func (it *Iterator) Next() ([]byte, bool) {
+	if it.err != nil {
+		return nil, false
+	}
+	if it.heap == nil {
+		if it.pos >= len(it.mem) {
+			return nil, false
+		}
+		rec := it.mem[it.pos]
+		it.pos++
+		return rec, true
+	}
+	if len(it.heap) == 0 {
+		return nil, false
+	}
+	top := it.heap[0]
+	rec := append([]byte(nil), top.current...)
+	ok, err := top.advance()
+	if err != nil {
+		it.err = err
+		return nil, false
+	}
+	if ok {
+		heap.Fix((*readerHeap)(it), 0)
+	} else {
+		heap.Pop((*readerHeap)(it))
+	}
+	return rec, true
+}
+
+// Err reports a device error that terminated iteration.
+func (it *Iterator) Err() error { return it.err }
+
+// runReader streams one spilled run.
+type runReader struct {
+	dev        blockio.Device
+	recordSize int
+	buf        []byte
+	page       blockio.PageID
+	idx        int // record index within page
+	pageCount  int
+	remaining  int
+	current    []byte
+}
+
+func newRunReader(dev blockio.Device, recordSize int, run runRef) (*runReader, error) {
+	if run.count == 0 {
+		return nil, nil
+	}
+	r := &runReader{
+		dev:        dev,
+		recordSize: recordSize,
+		buf:        make([]byte, dev.BlockSize()),
+		page:       run.head,
+		remaining:  run.count,
+	}
+	if err := r.loadPage(run.head); err != nil {
+		return nil, err
+	}
+	ok, err := r.advance()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return r, nil
+}
+
+func (r *runReader) loadPage(p blockio.PageID) error {
+	if err := r.dev.Read(p, r.buf); err != nil {
+		return err
+	}
+	r.page = p
+	r.idx = 0
+	r.pageCount = int(binary.LittleEndian.Uint16(r.buf[8:]))
+	return nil
+}
+
+func (r *runReader) advance() (bool, error) {
+	if r.remaining == 0 {
+		return false, nil
+	}
+	if r.idx >= r.pageCount {
+		next := blockio.PageID(int64(binary.LittleEndian.Uint64(r.buf[0:])))
+		if next == blockio.InvalidPage {
+			return false, fmt.Errorf("extsort: run truncated with %d records remaining", r.remaining)
+		}
+		if err := r.loadPage(next); err != nil {
+			return false, err
+		}
+	}
+	off := pageHeaderSize + r.idx*r.recordSize
+	r.current = r.buf[off : off+r.recordSize]
+	r.idx++
+	r.remaining--
+	return true, nil
+}
+
+// readerHeap orders run readers by their current record.
+type readerHeap Iterator
+
+func (h *readerHeap) Len() int { return len(h.heap) }
+func (h *readerHeap) Less(i, j int) bool {
+	return h.less(h.heap[i].current, h.heap[j].current)
+}
+func (h *readerHeap) Swap(i, j int)      { h.heap[i], h.heap[j] = h.heap[j], h.heap[i] }
+func (h *readerHeap) Push(x interface{}) { h.heap = append(h.heap, x.(*runReader)) }
+func (h *readerHeap) Pop() interface{} {
+	old := h.heap
+	n := len(old)
+	x := old[n-1]
+	h.heap = old[:n-1]
+	return x
+}

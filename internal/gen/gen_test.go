@@ -1,0 +1,196 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"temporalrank/internal/tsdata"
+)
+
+func TestTempShape(t *testing.T) {
+	ds, err := Temp(TempConfig{M: 50, Navg: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSeries() != 50 {
+		t.Errorf("m = %d", ds.NumSeries())
+	}
+	avg := ds.AvgSegments()
+	if avg < 50 || avg > 150 {
+		t.Errorf("navg = %g, want around 100", avg)
+	}
+	if ds.HasNegative() {
+		t.Error("temperature data must be positive")
+	}
+	// Values in a plausible band.
+	for _, s := range ds.AllSeries() {
+		for j := 0; j <= s.NumSegments(); j++ {
+			v := s.VertexValue(j)
+			if v < 1 || v > 500 {
+				t.Fatalf("series %d vertex %d value %g out of band", s.ID, j, v)
+			}
+		}
+	}
+}
+
+func TestTempDeterminism(t *testing.T) {
+	a, err := Temp(TempConfig{M: 10, Navg: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Temp(TempConfig{M: 10, Navg: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.NumSeries(); i++ {
+		sa, sb := a.Series(tsdata.SeriesID(i)), b.Series(tsdata.SeriesID(i))
+		if sa.NumSegments() != sb.NumSegments() {
+			t.Fatalf("series %d segment counts differ", i)
+		}
+		for j := 0; j <= sa.NumSegments(); j++ {
+			if sa.VertexTime(j) != sb.VertexTime(j) || sa.VertexValue(j) != sb.VertexValue(j) {
+				t.Fatalf("series %d vertex %d differs", i, j)
+			}
+		}
+	}
+	c, err := Temp(TempConfig{M: 10, Navg: 20, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 10 && same; i++ {
+		sa, sc := a.Series(tsdata.SeriesID(i)), c.Series(tsdata.SeriesID(i))
+		if sa.NumSegments() != sc.NumSegments() || sa.VertexValue(0) != sc.VertexValue(0) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestTempSeasonality(t *testing.T) {
+	// A station's smoothed curve should vary substantially across the
+	// year (seasonal amplitude), not be flat noise.
+	ds, err := Temp(TempConfig{M: 5, Navg: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ds.AllSeries() {
+		// Quarterly averages.
+		span := s.End() - s.Start()
+		var qs [4]float64
+		for q := 0; q < 4; q++ {
+			a := s.Start() + span*float64(q)/4
+			b := s.Start() + span*float64(q+1)/4
+			qs[q] = s.Range(a, b) / (b - a)
+		}
+		min, max := qs[0], qs[0]
+		for _, v := range qs[1:] {
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		if max-min < 5 {
+			t.Errorf("series %d: quarterly spread %g too flat for seasonal data", s.ID, max-min)
+		}
+	}
+}
+
+func TestMemeShape(t *testing.T) {
+	ds, err := Meme(MemeConfig{M: 200, Navg: 67, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSeries() != 200 {
+		t.Errorf("m = %d", ds.NumSeries())
+	}
+	if ds.HasNegative() {
+		t.Error("meme scores are counts, must be positive")
+	}
+	// Object lifespans should be scattered: starts must differ widely.
+	minStart, maxStart := math.Inf(1), math.Inf(-1)
+	for _, s := range ds.AllSeries() {
+		minStart = math.Min(minStart, s.Start())
+		maxStart = math.Max(maxStart, s.Start())
+	}
+	if maxStart-minStart < ds.Span()*0.2 {
+		t.Errorf("object starts clustered: spread %g of span %g", maxStart-minStart, ds.Span())
+	}
+}
+
+func TestMemeBurstiness(t *testing.T) {
+	// Meme data must be far burstier than Temp data: the ratio of peak
+	// value to mean value should be large for most objects.
+	meme, err := Meme(MemeConfig{M: 100, Navg: 67, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	burstRatio := func(s *tsdata.Series) float64 {
+		var peak, sum float64
+		n := s.NumSegments()
+		for j := 0; j <= n; j++ {
+			v := s.VertexValue(j)
+			peak = math.Max(peak, v)
+			sum += v
+		}
+		mean := sum / float64(n+1)
+		return peak / mean
+	}
+	bursty := 0
+	for _, s := range meme.AllSeries() {
+		if burstRatio(s) > 3 {
+			bursty++
+		}
+	}
+	if bursty < 50 {
+		t.Errorf("only %d/100 meme objects bursty (peak/mean > 3)", bursty)
+	}
+
+	temp, err := Temp(TempConfig{M: 50, Navg: 67, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tempBursty := 0
+	for _, s := range temp.AllSeries() {
+		if burstRatio(s) > 3 {
+			tempBursty++
+		}
+	}
+	if tempBursty > 5 {
+		t.Errorf("%d/50 temp objects look bursty; Temp should be smooth", tempBursty)
+	}
+}
+
+func TestMemeZipfSizes(t *testing.T) {
+	ds, err := Meme(MemeConfig{M: 300, Navg: 67, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy tail: the largest object should be several times the mean.
+	maxN := ds.MaxSegments()
+	if float64(maxN) < 2.5*ds.AvgSegments() {
+		t.Errorf("max segments %d vs avg %g: tail not heavy enough", maxN, ds.AvgSegments())
+	}
+}
+
+func TestRandomWalkNegatives(t *testing.T) {
+	ds, err := RandomWalk(RandomWalkConfig{M: 30, Navg: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.HasNegative() {
+		t.Error("random walk should produce negative values")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Temp(TempConfig{M: 0, Navg: 10}); err == nil {
+		t.Error("Temp M=0 accepted")
+	}
+	if _, err := Meme(MemeConfig{M: 10, Navg: 0}); err == nil {
+		t.Error("Meme Navg=0 accepted")
+	}
+	if _, err := RandomWalk(RandomWalkConfig{M: -1, Navg: 5}); err == nil {
+		t.Error("RandomWalk M=-1 accepted")
+	}
+}

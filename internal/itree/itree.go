@@ -1,0 +1,323 @@
+// Package itree implements a static external-memory interval tree over
+// a blockio.Device, supporting stabbing queries: given t, report every
+// stored interval [lo, hi) that contains t.
+//
+// It is the substrate of the paper's best exact method, EXACT3 (§2,
+// "Using one interval tree"): the I⁻ interval decomposition of all m
+// objects is indexed in one structure, and a top-k(t1,t2,sum) query
+// reduces to two stabbing queries that each return exactly one entry
+// per object, in O(log_B N + m/B) IOs.
+//
+// The classic centered interval tree is used (intervals stored at the
+// highest node whose center they contain, in two lists sorted by left
+// endpoint ascending and right endpoint descending), serialized onto
+// device pages: one page per node, plus chained list pages. This is a
+// simplification of the Arge–Vitter external interval tree the paper
+// cites — same static query-IO behaviour, simpler construction — which
+// suffices because EXACT3 only appends at the time frontier (handled by
+// a small in-memory tail, see exact.Exact3).
+package itree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"temporalrank/internal/blockio"
+)
+
+// Interval is a half-open interval [Lo, Hi) with an opaque fixed-size
+// payload.
+type Interval struct {
+	Lo, Hi  float64
+	Payload []byte
+}
+
+// Contains reports whether t ∈ [Lo, Hi).
+func (iv Interval) Contains(t float64) bool { return iv.Lo <= t && t < iv.Hi }
+
+// Tree is a read-only interval tree on a device.
+type Tree struct {
+	dev          blockio.Device
+	payloadSize  int
+	root         blockio.PageID
+	numIntervals int
+	height       int
+	listCap      int // entries per list page
+}
+
+const (
+	nodeSize       = 8 + 8 + 8 + 8 + 4 + 8 + 4 // center, left, right, lHead, lCount, rHead, rCount
+	listHeaderSize = 2 + 8                     // count uint16, next PageID
+	intervalSize   = 16                        // lo, hi
+)
+
+// Build constructs the tree from the given intervals (any order).
+// Every payload must have length payloadSize and every interval must
+// satisfy Lo < Hi.
+func Build(dev blockio.Device, payloadSize int, intervals []Interval) (*Tree, error) {
+	t := &Tree{dev: dev, payloadSize: payloadSize}
+	t.listCap = (dev.BlockSize() - listHeaderSize) / (intervalSize + payloadSize)
+	if t.listCap < 1 || dev.BlockSize() < nodeSize {
+		return nil, fmt.Errorf("itree: block size %d too small for payload %d", dev.BlockSize(), payloadSize)
+	}
+	for i, iv := range intervals {
+		if !(iv.Lo < iv.Hi) {
+			return nil, fmt.Errorf("itree: interval %d degenerate: [%g,%g)", i, iv.Lo, iv.Hi)
+		}
+		if len(iv.Payload) != payloadSize {
+			return nil, fmt.Errorf("itree: interval %d payload %d bytes, want %d", i, len(iv.Payload), payloadSize)
+		}
+	}
+	t.numIntervals = len(intervals)
+	work := append([]Interval(nil), intervals...)
+	root, height, err := t.build(work, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	t.height = height
+	return t, nil
+}
+
+// Len returns the number of stored intervals.
+func (t *Tree) Len() int { return t.numIntervals }
+
+// Height returns the node depth of the tree.
+func (t *Tree) Height() int { return t.height }
+
+// maxDepth guards against degenerate recursion; 64 levels is far beyond
+// any balanced shape for in-range inputs.
+const maxDepth = 64
+
+func (t *Tree) build(ivs []Interval, depth int) (blockio.PageID, int, error) {
+	if len(ivs) == 0 {
+		return blockio.InvalidPage, 0, nil
+	}
+	if depth > maxDepth {
+		return blockio.InvalidPage, 0, fmt.Errorf("itree: degenerate recursion (depth %d, %d intervals)", depth, len(ivs))
+	}
+	center := pickCenter(ivs)
+	var left, mid, right []Interval
+	for _, iv := range ivs {
+		switch {
+		case iv.Hi <= center:
+			left = append(left, iv)
+		case iv.Lo > center:
+			right = append(right, iv)
+		default:
+			mid = append(mid, iv)
+		}
+	}
+	if len(mid) == 0 && (len(left) == len(ivs) || len(right) == len(ivs)) {
+		return blockio.InvalidPage, 0, fmt.Errorf("itree: center %g did not split %d intervals", center, len(ivs))
+	}
+
+	leftPage, lh, err := t.build(left, depth+1)
+	if err != nil {
+		return blockio.InvalidPage, 0, err
+	}
+	rightPage, rh, err := t.build(right, depth+1)
+	if err != nil {
+		return blockio.InvalidPage, 0, err
+	}
+
+	// Lists: ascending lo, and descending hi.
+	byLo := append([]Interval(nil), mid...)
+	sort.Slice(byLo, func(a, b int) bool { return byLo[a].Lo < byLo[b].Lo })
+	byHi := append([]Interval(nil), mid...)
+	sort.Slice(byHi, func(a, b int) bool { return byHi[a].Hi > byHi[b].Hi })
+
+	lHead, err := t.writeList(byLo)
+	if err != nil {
+		return blockio.InvalidPage, 0, err
+	}
+	rHead, err := t.writeList(byHi)
+	if err != nil {
+		return blockio.InvalidPage, 0, err
+	}
+
+	page, err := t.dev.Alloc()
+	if err != nil {
+		return blockio.InvalidPage, 0, err
+	}
+	buf := make([]byte, t.dev.BlockSize())
+	binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(center))
+	putPageID(buf[8:], leftPage)
+	putPageID(buf[16:], rightPage)
+	putPageID(buf[24:], lHead)
+	binary.LittleEndian.PutUint32(buf[32:], uint32(len(mid)))
+	putPageID(buf[36:], rHead)
+	binary.LittleEndian.PutUint32(buf[44:], uint32(len(mid)))
+	if err := t.dev.Write(page, buf); err != nil {
+		return blockio.InvalidPage, 0, err
+	}
+	h := 1
+	if lh+1 > h {
+		h = lh + 1
+	}
+	if rh+1 > h {
+		h = rh + 1
+	}
+	return page, h, nil
+}
+
+// pickCenter returns the midpoint of the two middle endpoints, which
+// balances endpoint counts across children.
+func pickCenter(ivs []Interval) float64 {
+	eps := make([]float64, 0, 2*len(ivs))
+	for _, iv := range ivs {
+		eps = append(eps, iv.Lo, iv.Hi)
+	}
+	sort.Float64s(eps)
+	k := len(eps) / 2
+	return (eps[k-1] + eps[k]) / 2
+}
+
+// writeList serializes intervals into a chain of list pages, returning
+// the head page (InvalidPage when empty). Page order preserves slice
+// order so scan early-exit works.
+func (t *Tree) writeList(ivs []Interval) (blockio.PageID, error) {
+	if len(ivs) == 0 {
+		return blockio.InvalidPage, nil
+	}
+	// Allocate pages first so each page can point at its successor.
+	numPages := (len(ivs) + t.listCap - 1) / t.listCap
+	pages := make([]blockio.PageID, numPages)
+	for i := range pages {
+		p, err := t.dev.Alloc()
+		if err != nil {
+			return blockio.InvalidPage, err
+		}
+		pages[i] = p
+	}
+	buf := make([]byte, t.dev.BlockSize())
+	for pi := 0; pi < numPages; pi++ {
+		start := pi * t.listCap
+		end := start + t.listCap
+		if end > len(ivs) {
+			end = len(ivs)
+		}
+		for i := range buf {
+			buf[i] = 0
+		}
+		binary.LittleEndian.PutUint16(buf[0:], uint16(end-start))
+		next := blockio.InvalidPage
+		if pi+1 < numPages {
+			next = pages[pi+1]
+		}
+		putPageID(buf[2:], next)
+		off := listHeaderSize
+		for _, iv := range ivs[start:end] {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(iv.Lo))
+			binary.LittleEndian.PutUint64(buf[off+8:], math.Float64bits(iv.Hi))
+			copy(buf[off+16:off+16+t.payloadSize], iv.Payload)
+			off += intervalSize + t.payloadSize
+		}
+		if err := t.dev.Write(pages[pi], buf); err != nil {
+			return blockio.InvalidPage, err
+		}
+	}
+	return pages[0], nil
+}
+
+// Stab invokes visit for every stored interval containing t. The
+// payload slice passed to visit aliases an internal buffer; copy it to
+// retain. Iteration stops early if visit returns false.
+func (t *Tree) Stab(x float64, visit func(iv Interval) bool) error {
+	buf := make([]byte, t.dev.BlockSize())
+	lbuf := make([]byte, t.dev.BlockSize())
+	page := t.root
+	for page != blockio.InvalidPage {
+		if err := t.dev.Read(page, buf); err != nil {
+			return err
+		}
+		center := math.Float64frombits(binary.LittleEndian.Uint64(buf[0:]))
+		leftPage := getPageID(buf[8:])
+		rightPage := getPageID(buf[16:])
+		lHead := getPageID(buf[24:])
+		rHead := getPageID(buf[36:])
+		switch {
+		case x < center:
+			// Ascending-lo list: all entries with lo <= x contain x.
+			done, err := t.scanList(lHead, lbuf, func(iv Interval) (bool, bool) {
+				if iv.Lo > x {
+					return false, true // stop scanning, continue traversal
+				}
+				return !visit(iv), false
+			})
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+			page = leftPage
+		case x > center:
+			// Descending-hi list: all entries with hi > x contain x.
+			done, err := t.scanList(rHead, lbuf, func(iv Interval) (bool, bool) {
+				if iv.Hi <= x {
+					return false, true
+				}
+				return !visit(iv), false
+			})
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+			page = rightPage
+		default: // x == center: every interval at this node contains x.
+			_, err := t.scanList(lHead, lbuf, func(iv Interval) (bool, bool) {
+				return !visit(iv), false
+			})
+			return err
+		}
+	}
+	return nil
+}
+
+// scanList walks a list chain. fn returns (stopAll, stopScan):
+// stopAll aborts the whole stab (visit returned false); stopScan ends
+// this list early (sorted early-exit). Returns stopAll.
+func (t *Tree) scanList(head blockio.PageID, buf []byte, fn func(iv Interval) (bool, bool)) (bool, error) {
+	page := head
+	for page != blockio.InvalidPage {
+		if err := t.dev.Read(page, buf); err != nil {
+			return false, err
+		}
+		count := int(binary.LittleEndian.Uint16(buf[0:]))
+		next := getPageID(buf[2:])
+		off := listHeaderSize
+		for i := 0; i < count; i++ {
+			iv := Interval{
+				Lo:      math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])),
+				Hi:      math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:])),
+				Payload: buf[off+16 : off+16+t.payloadSize],
+			}
+			stopAll, stopScan := fn(iv)
+			if !stopAll && !stopScan {
+				off += intervalSize + t.payloadSize
+				continue
+			}
+			if stopScan && !stopAll {
+				return false, nil
+			}
+			if stopAll {
+				return true, nil
+			}
+		}
+		page = next
+	}
+	return false, nil
+}
+
+func getPageID(b []byte) blockio.PageID {
+	return blockio.PageID(int64(binary.LittleEndian.Uint64(b)))
+}
+
+func putPageID(b []byte, p blockio.PageID) {
+	binary.LittleEndian.PutUint64(b, uint64(int64(p)))
+}

@@ -1,0 +1,231 @@
+package pla
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"temporalrank/internal/tsdata"
+)
+
+// noisySine produces samples of a sine with volatility bursts: smooth
+// regions reward adaptive segmentation.
+func noisySine(rng *rand.Rand, n int) []Sample {
+	out := make([]Sample, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		v := 50 + 30*math.Sin(t/10)
+		// A volatile burst in the middle fifth.
+		if i > 2*n/5 && i < 3*n/5 {
+			v += rng.NormFloat64() * 15
+		}
+		out[i] = Sample{T: t, V: v}
+		t += 0.5 + rng.Float64()*0.5
+	}
+	return out
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := FixedInterval([]Sample{{T: 0, V: 1}}, 2); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := FixedInterval([]Sample{{T: 0, V: 1}, {T: 0, V: 2}}, 2); err == nil {
+		t.Error("duplicate time accepted")
+	}
+	if _, err := FixedInterval([]Sample{{T: 0, V: math.NaN()}, {T: 1, V: 2}}, 2); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := FixedInterval([]Sample{{T: 0, V: 1}, {T: 1, V: 2}}, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := SlidingWindow([]Sample{{T: 0, V: 1}, {T: 1, V: 2}}, -1); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestFixedIntervalCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := noisySine(rng, 200)
+	for _, n := range []int{1, 5, 20, 100} {
+		r, err := FixedInterval(samples, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.NumSegments() > n {
+			t.Errorf("n=%d: got %d segments", n, r.NumSegments())
+		}
+		if r.Times[0] != samples[0].T || r.Times[len(r.Times)-1] != samples[len(samples)-1].T {
+			t.Errorf("n=%d: endpoints not preserved", n)
+		}
+	}
+}
+
+func TestSlidingWindowRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples := noisySine(rng, 300)
+	for _, budget := range []float64{1, 5, 20} {
+		r, err := SlidingWindow(samples, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The greedy split guarantees each segment's internal deviation
+		// is within budget when measured against its own span.
+		if got := r.Error(samples); got > budget*(1+1e-9) {
+			t.Errorf("budget %g: error %g", budget, got)
+		}
+	}
+}
+
+func TestBottomUpRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := noisySine(rng, 150)
+	for _, budget := range []float64{1, 5, 20} {
+		r, err := BottomUp(samples, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Error(samples); got > budget*(1+1e-9) {
+			t.Errorf("budget %g: error %g", budget, got)
+		}
+	}
+}
+
+func TestTighterBudgetMoreSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	samples := noisySine(rng, 300)
+	loose, _ := SlidingWindow(samples, 20)
+	tight, _ := SlidingWindow(samples, 1)
+	if tight.NumSegments() <= loose.NumSegments() {
+		t.Errorf("tight budget %d segments <= loose %d", tight.NumSegments(), loose.NumSegments())
+	}
+}
+
+// TestAdaptiveBeatsFixed reproduces the paper's observation 2: at equal
+// segment counts, the adaptive (bottom-up) method achieves lower error
+// than the fixed-interval method on data with non-uniform volatility.
+func TestAdaptiveBeatsFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	wins := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		samples := noisySine(rng, 200)
+		const n = 25
+		fixed, err := FixedInterval(samples, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adaptive, err := BottomUpBudget(samples, fixed.NumSegments())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adaptive.NumSegments() > fixed.NumSegments() {
+			t.Fatalf("budget overshoot: %d > %d", adaptive.NumSegments(), fixed.NumSegments())
+		}
+		if adaptive.Error(samples) < fixed.Error(samples) {
+			wins++
+		}
+	}
+	if wins < trials*7/10 {
+		t.Errorf("adaptive beat fixed only %d/%d times", wins, trials)
+	}
+}
+
+// TestResultFeedsSeries: segmentation output plugs into the data model
+// and preserves aggregates up to δ·(t2−t1).
+func TestResultFeedsSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	samples := noisySine(rng, 250)
+	const budget = 2.0
+	r, err := BottomUp(samples, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tsdata.NewSeries(0, r.Times, r.Values)
+	if err != nil {
+		t.Fatalf("segmentation output rejected by tsdata: %v", err)
+	}
+	// Dense (per-sample) reference series.
+	times := make([]float64, len(samples))
+	values := make([]float64, len(samples))
+	for i, sm := range samples {
+		times[i] = sm.T
+		values[i] = sm.V
+	}
+	dense, err := tsdata.NewSeries(1, times, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := samples[20].T
+	t2 := samples[200].T
+	got := s.Range(t1, t2)
+	want := dense.Range(t1, t2)
+	if d := math.Abs(got - want); d > budget*(t2-t1) {
+		t.Errorf("aggregate drift %g exceeds δ(t2-t1) = %g", d, budget*(t2-t1))
+	}
+}
+
+// Property: all three segmenters preserve the first and last samples
+// exactly and emit strictly increasing times.
+func TestSegmentersWellFormedProperty(t *testing.T) {
+	f := func(seed int64, mode uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		samples := noisySine(rng, 20+rng.Intn(150))
+		var (
+			r   Result
+			err error
+		)
+		switch mode % 3 {
+		case 0:
+			r, err = FixedInterval(samples, 1+rng.Intn(30))
+		case 1:
+			r, err = SlidingWindow(samples, rng.Float64()*10)
+		default:
+			r, err = BottomUp(samples, rng.Float64()*10)
+		}
+		if err != nil {
+			return false
+		}
+		if len(r.Times) != len(r.Values) || len(r.Times) < 2 {
+			return false
+		}
+		if r.Times[0] != samples[0].T || r.Values[0] != samples[0].V {
+			return false
+		}
+		last := len(samples) - 1
+		if r.Times[len(r.Times)-1] != samples[last].T || r.Values[len(r.Values)-1] != samples[last].V {
+			return false
+		}
+		for i := 1; i < len(r.Times); i++ {
+			if r.Times[i] <= r.Times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroBudgetKeepsCollinearOnly(t *testing.T) {
+	// Perfectly collinear samples collapse to one segment even at
+	// budget 0.
+	samples := []Sample{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	r, err := BottomUp(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumSegments() != 1 {
+		t.Errorf("collinear: %d segments, want 1", r.NumSegments())
+	}
+	// Non-collinear data stays fully resolved.
+	bent := []Sample{{0, 0}, {1, 5}, {2, 0}}
+	r, err = BottomUp(bent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumSegments() != 2 {
+		t.Errorf("bent: %d segments, want 2", r.NumSegments())
+	}
+}

@@ -1,0 +1,179 @@
+// Package poly implements piecewise-polynomial score functions — the
+// §4 "General time series with arbitrary functions" extension: "all of
+// our methods also naturally work with any piecewise polynomial
+// functions p: the only change is ... how to compute σ_i(I) ... we
+// simply compute it using the integral over p_{i,j}".
+//
+// A polynomial segment evaluates and integrates exactly (closed form);
+// ToSamples bridges to the piecewise-linear pipeline by sampling at a
+// resolution chosen from a supplied L∞ error budget via the standard
+// second-derivative bound, after which internal/pla re-segments
+// adaptively. This gives the indexes the paper's two options for "more
+// precision": more linear segments, or native polynomial pieces for
+// σ(I) computation.
+package poly
+
+import (
+	"fmt"
+	"math"
+
+	"temporalrank/internal/pla"
+)
+
+// Segment is one polynomial piece over [T1, T2): value(t) = Σ_d
+// Coeffs[d]·(t−T1)^d. Coefficients are in the local coordinate u =
+// t−T1 for numeric stability.
+type Segment struct {
+	T1, T2 float64
+	Coeffs []float64
+}
+
+// Validate checks the segment is well formed.
+func (s Segment) Validate() error {
+	if !(s.T1 < s.T2) || math.IsNaN(s.T1) || math.IsInf(s.T2, 0) {
+		return fmt.Errorf("poly: bad span [%g,%g)", s.T1, s.T2)
+	}
+	if len(s.Coeffs) == 0 {
+		return fmt.Errorf("poly: no coefficients")
+	}
+	for i, c := range s.Coeffs {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("poly: non-finite coefficient %d", i)
+		}
+	}
+	return nil
+}
+
+// Degree returns the polynomial degree.
+func (s Segment) Degree() int { return len(s.Coeffs) - 1 }
+
+// At evaluates the polynomial at t (Horner form).
+func (s Segment) At(t float64) float64 {
+	u := t - s.T1
+	v := 0.0
+	for d := len(s.Coeffs) - 1; d >= 0; d-- {
+		v = v*u + s.Coeffs[d]
+	}
+	return v
+}
+
+// Integral returns ∫_{T1}^{T2} p(t) dt in closed form.
+func (s Segment) Integral() float64 { return s.IntegralOver(s.T1, s.T2) }
+
+// IntegralOver returns ∫ p over [t1,t2] ∩ [T1,T2] exactly: the
+// antiderivative Σ_d c_d·u^{d+1}/(d+1) evaluated at the clipped local
+// endpoints — this is the paper's "σ_i(I) = ∫_{t∈I} p_{i,j}(t) dt".
+func (s Segment) IntegralOver(t1, t2 float64) float64 {
+	lo := math.Max(t1, s.T1) - s.T1
+	hi := math.Min(t2, s.T2) - s.T1
+	if hi <= lo {
+		return 0
+	}
+	return s.antideriv(hi) - s.antideriv(lo)
+}
+
+func (s Segment) antideriv(u float64) float64 {
+	v := 0.0
+	for d := len(s.Coeffs) - 1; d >= 0; d-- {
+		v = (v + s.Coeffs[d]/float64(d+1)) * u
+	}
+	return v
+}
+
+// secondDerivativeBound returns max |p”(t)| over the span (by
+// evaluating the (exactly computed) second-derivative polynomial on a
+// dense grid — adequate for the low degrees used in practice).
+func (s Segment) secondDerivativeBound() float64 {
+	if len(s.Coeffs) <= 2 {
+		return 0
+	}
+	dd := make([]float64, len(s.Coeffs)-2)
+	for d := 2; d < len(s.Coeffs); d++ {
+		dd[d-2] = s.Coeffs[d] * float64(d) * float64(d-1)
+	}
+	ddSeg := Segment{T1: s.T1, T2: s.T2, Coeffs: dd}
+	worst := 0.0
+	const grid = 64
+	for i := 0; i <= grid; i++ {
+		t := s.T1 + (s.T2-s.T1)*float64(i)/grid
+		if v := math.Abs(ddSeg.At(t)); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Series is one object: contiguous polynomial pieces.
+type Series struct {
+	Segments []Segment
+}
+
+// Validate checks contiguity and per-piece validity.
+func (s Series) Validate() error {
+	if len(s.Segments) == 0 {
+		return fmt.Errorf("poly: empty series")
+	}
+	for i, seg := range s.Segments {
+		if err := seg.Validate(); err != nil {
+			return fmt.Errorf("poly: piece %d: %w", i, err)
+		}
+		if i > 0 && seg.T1 != s.Segments[i-1].T2 {
+			return fmt.Errorf("poly: piece %d not contiguous", i)
+		}
+	}
+	return nil
+}
+
+// At evaluates the series at t (0 outside its domain).
+func (s Series) At(t float64) float64 {
+	for _, seg := range s.Segments {
+		if t >= seg.T1 && t < seg.T2 {
+			return seg.At(t)
+		}
+	}
+	if n := len(s.Segments); n > 0 && t == s.Segments[n-1].T2 {
+		return s.Segments[n-1].At(t)
+	}
+	return 0
+}
+
+// Range computes σ(t1,t2) exactly over the polynomial pieces.
+func (s Series) Range(t1, t2 float64) float64 {
+	var sum float64
+	for _, seg := range s.Segments {
+		sum += seg.IntegralOver(t1, t2)
+	}
+	return sum
+}
+
+// ToSamples converts the series to samples dense enough that linear
+// interpolation between consecutive samples deviates at most maxErr
+// from the polynomial (chord error bound |p”|·h²/8 ≤ maxErr), ready
+// for pla segmentation or direct SegmentConnect ingestion.
+func (s Series) ToSamples(maxErr float64) ([]pla.Sample, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if maxErr <= 0 {
+		return nil, fmt.Errorf("poly: error budget must be positive, got %g", maxErr)
+	}
+	var out []pla.Sample
+	for _, seg := range s.Segments {
+		span := seg.T2 - seg.T1
+		steps := 1
+		if bound := seg.secondDerivativeBound(); bound > 0 {
+			h := math.Sqrt(8 * maxErr / bound)
+			steps = int(math.Ceil(span / h))
+			if steps < 1 {
+				steps = 1
+			}
+		}
+		for i := 0; i < steps; i++ {
+			t := seg.T1 + span*float64(i)/float64(steps)
+			out = append(out, pla.Sample{T: t, V: seg.At(t)})
+		}
+	}
+	last := s.Segments[len(s.Segments)-1]
+	out = append(out, pla.Sample{T: last.T2, V: last.At(last.T2)})
+	return out, nil
+}

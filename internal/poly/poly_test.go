@@ -1,0 +1,191 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"temporalrank/internal/tsdata"
+)
+
+func approxEq(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return d <= tol
+	}
+	return d <= tol*scale
+}
+
+func TestSegmentAtHorner(t *testing.T) {
+	// p(t) = 1 + 2u + 3u² at u = t-1.
+	s := Segment{T1: 1, T2: 5, Coeffs: []float64{1, 2, 3}}
+	if got := s.At(1); got != 1 {
+		t.Errorf("At(T1) = %g", got)
+	}
+	if got := s.At(3); got != 1+4+12 {
+		t.Errorf("At(3) = %g, want 17", got)
+	}
+}
+
+func TestSegmentIntegralClosedForm(t *testing.T) {
+	// ∫_0^2 (1 + 2u + 3u²) du = 2 + 4 + 8 = 14.
+	s := Segment{T1: 0, T2: 2, Coeffs: []float64{1, 2, 3}}
+	if got := s.Integral(); !approxEq(got, 14, 1e-12) {
+		t.Errorf("Integral = %g, want 14", got)
+	}
+	// Clipped: ∫_1^2 = (u+u²+u³) from 1 to 2 = 14 - 3 = 11.
+	if got := s.IntegralOver(1, 2); !approxEq(got, 11, 1e-12) {
+		t.Errorf("IntegralOver(1,2) = %g, want 11", got)
+	}
+	if got := s.IntegralOver(5, 9); got != 0 {
+		t.Errorf("disjoint = %g", got)
+	}
+}
+
+func TestSegmentValidate(t *testing.T) {
+	if err := (Segment{T1: 0, T2: 1, Coeffs: []float64{1}}).Validate(); err != nil {
+		t.Errorf("constant rejected: %v", err)
+	}
+	bads := []Segment{
+		{T1: 1, T2: 1, Coeffs: []float64{1}},
+		{T1: 0, T2: 1},
+		{T1: 0, T2: 1, Coeffs: []float64{math.NaN()}},
+	}
+	for _, b := range bads {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad segment %+v accepted", b)
+		}
+	}
+}
+
+// Property: polynomial integral matches numeric quadrature.
+func TestIntegralMatchesQuadratureProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		deg := 1 + rng.Intn(4)
+		coeffs := make([]float64, deg+1)
+		for i := range coeffs {
+			coeffs[i] = rng.NormFloat64() * 3
+		}
+		s := Segment{T1: rng.Float64(), T2: 1 + rng.Float64()*4, Coeffs: coeffs}
+		s.T2 += s.T1
+		a := s.T1 + (s.T2-s.T1)*rng.Float64()*0.5
+		b := a + (s.T2-a)*rng.Float64()
+		if b <= a {
+			return true
+		}
+		// Simpson quadrature with many panels.
+		const n = 2000
+		h := (b - a) / n
+		sum := s.At(a) + s.At(b)
+		for i := 1; i < n; i++ {
+			x := a + h*float64(i)
+			if i%2 == 1 {
+				sum += 4 * s.At(x)
+			} else {
+				sum += 2 * s.At(x)
+			}
+		}
+		quad := sum * h / 3
+		return approxEq(s.IntegralOver(a, b), quad, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesValidateAndRange(t *testing.T) {
+	s := Series{Segments: []Segment{
+		{T1: 0, T2: 2, Coeffs: []float64{1, 1}},       // 1+u
+		{T1: 2, T2: 4, Coeffs: []float64{3, 0, -0.5}}, // 3 - u²/2
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ∫_0^2 (1+u) = 4; ∫_2^4 (3 - u²/2) with u=t-2: 6 - 8/6 = 4.6667.
+	want := 4 + 6 - 8.0/6
+	if got := s.Range(0, 4); !approxEq(got, want, 1e-12) {
+		t.Errorf("Range = %g, want %g", got, want)
+	}
+	// Gap rejected.
+	bad := Series{Segments: []Segment{
+		{T1: 0, T2: 1, Coeffs: []float64{1}},
+		{T1: 2, T2: 3, Coeffs: []float64{1}},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("gap accepted")
+	}
+}
+
+func TestToSamplesErrorBound(t *testing.T) {
+	// A strongly curved quadratic: sampling must be dense enough that
+	// linear interpolation stays within budget.
+	s := Series{Segments: []Segment{
+		{T1: 0, T2: 10, Coeffs: []float64{0, 0, 2}}, // 2u²
+	}}
+	for _, budget := range []float64{1, 0.1, 0.01} {
+		samples, err := s.ToSamples(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Verify interpolation error against the true polynomial.
+		for i := 0; i+1 < len(samples); i++ {
+			a, b := samples[i], samples[i+1]
+			for w := 0.1; w < 1; w += 0.2 {
+				tt := a.T + (b.T-a.T)*w
+				lin := a.V*(1-w) + b.V*w
+				if d := math.Abs(lin - s.At(tt)); d > budget*(1+1e-9) {
+					t.Fatalf("budget %g: interpolation error %g at t=%g", budget, d, tt)
+				}
+			}
+		}
+	}
+	if _, err := s.ToSamples(0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestToSamplesFeedsLinearPipeline(t *testing.T) {
+	// End to end: polynomial -> samples -> tsdata.Series; aggregates
+	// agree within budget·(t2−t1).
+	s := Series{Segments: []Segment{
+		{T1: 0, T2: 5, Coeffs: []float64{10, 1, 0.3}},
+		{T1: 5, T2: 10, Coeffs: []float64{10 + 5 + 0.3*25, -2, 0.1}},
+	}}
+	const budget = 0.05
+	samples, err := s.ToSamples(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([]float64, len(samples))
+	values := make([]float64, len(samples))
+	for i, sm := range samples {
+		times[i] = sm.T
+		values[i] = sm.V
+	}
+	lin, err := tsdata.NewSeries(0, times, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range [][2]float64{{0, 10}, {1, 4}, {3, 8}, {6, 9.5}} {
+		exact := s.Range(iv[0], iv[1])
+		got := lin.Range(iv[0], iv[1])
+		if d := math.Abs(exact - got); d > budget*(iv[1]-iv[0])+1e-9 {
+			t.Errorf("[%g,%g]: drift %g > %g", iv[0], iv[1], d, budget*(iv[1]-iv[0]))
+		}
+	}
+}
+
+func TestLinearPolynomialFewSamples(t *testing.T) {
+	// Degree-1 pieces need only their endpoints regardless of budget.
+	s := Series{Segments: []Segment{{T1: 0, T2: 100, Coeffs: []float64{1, 2}}}}
+	samples, err := s.ToSamples(1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Errorf("linear piece sampled %d points, want 2", len(samples))
+	}
+}

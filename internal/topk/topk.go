@@ -1,0 +1,162 @@
+// Package topk provides bounded top-k selection and the ranking-quality
+// metrics used in the paper's evaluation (§5): precision/recall between
+// an approximate and an exact top-k set, and the average approximation
+// ratio σ̃_i(t1,t2)/σ_i(t1,t2) over returned objects.
+package topk
+
+import (
+	"container/heap"
+	"sort"
+
+	"temporalrank/internal/tsdata"
+)
+
+// Item is a scored object.
+type Item struct {
+	ID    tsdata.SeriesID
+	Score float64
+}
+
+// Collector selects the k items with the largest scores using a
+// size-bounded min-heap (the paper's "priority queue of size k").
+// Ties on score break toward the smaller ID so results are
+// deterministic across methods.
+type Collector struct {
+	k     int
+	items minHeap
+}
+
+// NewCollector creates a collector for the top k items (k >= 1).
+func NewCollector(k int) *Collector {
+	if k < 1 {
+		k = 1
+	}
+	return &Collector{k: k, items: make(minHeap, 0, k+1)}
+}
+
+// K returns the configured bound.
+func (c *Collector) K() int { return c.k }
+
+// Add offers an item; it is retained only if it ranks in the current
+// top k.
+func (c *Collector) Add(id tsdata.SeriesID, score float64) {
+	if len(c.items) < c.k {
+		heap.Push(&c.items, Item{ID: id, Score: score})
+		return
+	}
+	if less(c.items[0], Item{ID: id, Score: score}) {
+		c.items[0] = Item{ID: id, Score: score}
+		heap.Fix(&c.items, 0)
+	}
+}
+
+// Threshold returns the smallest retained score (the k-th best so
+// far), or -Inf semantics via ok=false when fewer than k items are
+// held.
+func (c *Collector) Threshold() (float64, bool) {
+	if len(c.items) < c.k {
+		return 0, false
+	}
+	return c.items[0].Score, true
+}
+
+// Len returns the number of retained items (<= k).
+func (c *Collector) Len() int { return len(c.items) }
+
+// Results returns the retained items ordered by descending score
+// (ties: ascending ID). The collector remains usable.
+func (c *Collector) Results() []Item {
+	out := make([]Item, len(c.items))
+	copy(out, c.items)
+	SortItems(out)
+	return out
+}
+
+// SortItems orders items by descending score, ties by ascending ID.
+func SortItems(items []Item) {
+	sort.Slice(items, func(a, b int) bool { return less(items[b], items[a]) })
+}
+
+// less is the heap ordering: a ranks strictly below b.
+func less(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+type minHeap []Item
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return less(h[i], h[j]) }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// --- quality metrics -------------------------------------------------
+
+// PrecisionRecall returns |approx ∩ exact| / k. Since both sets have
+// the same cardinality k, precision equals recall (as noted in §5).
+func PrecisionRecall(approx, exact []Item) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	set := make(map[tsdata.SeriesID]bool, len(exact))
+	for _, it := range exact {
+		set[it.ID] = true
+	}
+	hits := 0
+	for _, it := range approx {
+		if set[it.ID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(exact))
+}
+
+// ApproxRatio returns the average of σ̃_i/σ_i over the approximate
+// result set, where trueScore supplies σ_i(t1,t2) for any object.
+// Items whose true score is ~0 are skipped (the ratio is undefined);
+// if every item is skipped the ratio is reported as exactly 1.
+func ApproxRatio(approx []Item, trueScore func(tsdata.SeriesID) float64) float64 {
+	var sum float64
+	n := 0
+	for _, it := range approx {
+		exact := trueScore(it.ID)
+		if exact == 0 {
+			continue
+		}
+		sum += it.Score / exact
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// RankwiseError returns max_j |approxScore_j - exactScore_j| over
+// ranks j — the quantity bounded by εM in Definition 2 (for α=1).
+func RankwiseError(approx, exact []Item) float64 {
+	n := len(approx)
+	if len(exact) < n {
+		n = len(exact)
+	}
+	var worst float64
+	for j := 0; j < n; j++ {
+		d := approx[j].Score - exact[j].Score
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

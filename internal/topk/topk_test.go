@@ -1,0 +1,214 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"temporalrank/internal/tsdata"
+)
+
+func TestCollectorBasic(t *testing.T) {
+	c := NewCollector(3)
+	scores := []float64{5, 1, 9, 3, 7, 2}
+	for i, s := range scores {
+		c.Add(tsdata.SeriesID(i), s)
+	}
+	got := c.Results()
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	want := []float64{9, 7, 5}
+	for i, it := range got {
+		if it.Score != want[i] {
+			t.Errorf("rank %d score = %g, want %g", i, it.Score, want[i])
+		}
+	}
+}
+
+func TestCollectorFewerThanK(t *testing.T) {
+	c := NewCollector(10)
+	c.Add(0, 1)
+	c.Add(1, 2)
+	got := c.Results()
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	if got[0].Score != 2 || got[1].Score != 1 {
+		t.Errorf("results %v", got)
+	}
+	if _, ok := c.Threshold(); ok {
+		t.Error("Threshold available before k items")
+	}
+}
+
+func TestCollectorThreshold(t *testing.T) {
+	c := NewCollector(2)
+	c.Add(0, 5)
+	c.Add(1, 3)
+	th, ok := c.Threshold()
+	if !ok || th != 3 {
+		t.Errorf("Threshold = (%g,%v), want (3,true)", th, ok)
+	}
+	c.Add(2, 4)
+	th, _ = c.Threshold()
+	if th != 4 {
+		t.Errorf("Threshold after improvement = %g, want 4", th)
+	}
+}
+
+func TestCollectorTieBreaksByID(t *testing.T) {
+	c := NewCollector(2)
+	c.Add(5, 1)
+	c.Add(3, 1)
+	c.Add(9, 1)
+	got := c.Results()
+	if got[0].ID != 3 || got[1].ID != 5 {
+		t.Errorf("tie-break wrong: %v (want IDs 3,5)", got)
+	}
+}
+
+func TestCollectorKBelowOne(t *testing.T) {
+	c := NewCollector(0)
+	if c.K() != 1 {
+		t.Errorf("K = %d, want clamp to 1", c.K())
+	}
+	c.Add(1, 10)
+	c.Add(2, 20)
+	got := c.Results()
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Errorf("results %v", got)
+	}
+}
+
+// Property: collector matches full sort + truncate for random inputs.
+func TestCollectorMatchesSortProperty(t *testing.T) {
+	f := func(seed int64, rawK uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(rawK)%20 + 1
+		n := 1 + rng.Intn(300)
+		items := make([]Item, n)
+		c := NewCollector(k)
+		for i := range items {
+			// Coarse scores force plenty of ties.
+			s := float64(rng.Intn(40))
+			items[i] = Item{ID: tsdata.SeriesID(i), Score: s}
+			c.Add(tsdata.SeriesID(i), s)
+		}
+		SortItems(items)
+		want := items
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := c.Results()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortItemsStableOrder(t *testing.T) {
+	items := []Item{{ID: 2, Score: 1}, {ID: 1, Score: 1}, {ID: 0, Score: 5}}
+	SortItems(items)
+	wantIDs := []tsdata.SeriesID{0, 1, 2}
+	for i, it := range items {
+		if it.ID != wantIDs[i] {
+			t.Errorf("pos %d ID = %d, want %d", i, it.ID, wantIDs[i])
+		}
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	exact := []Item{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}}
+	approx := []Item{{ID: 2}, {ID: 3}, {ID: 9}, {ID: 1}}
+	if got := PrecisionRecall(approx, exact); got != 0.75 {
+		t.Errorf("PrecisionRecall = %g, want 0.75", got)
+	}
+	if got := PrecisionRecall(exact, exact); got != 1 {
+		t.Errorf("self PrecisionRecall = %g, want 1", got)
+	}
+	if got := PrecisionRecall(nil, exact); got != 0 {
+		t.Errorf("empty approx = %g, want 0", got)
+	}
+	if got := PrecisionRecall(nil, nil); got != 1 {
+		t.Errorf("both empty = %g, want 1", got)
+	}
+}
+
+func TestApproxRatio(t *testing.T) {
+	truth := map[tsdata.SeriesID]float64{1: 10, 2: 20, 3: 0}
+	lookup := func(id tsdata.SeriesID) float64 { return truth[id] }
+	approx := []Item{{ID: 1, Score: 11}, {ID: 2, Score: 18}}
+	got := ApproxRatio(approx, lookup)
+	want := (11.0/10 + 18.0/20) / 2
+	if got != want {
+		t.Errorf("ApproxRatio = %g, want %g", got, want)
+	}
+	// Zero-truth items are skipped.
+	if got := ApproxRatio([]Item{{ID: 3, Score: 5}}, lookup); got != 1 {
+		t.Errorf("all-zero-truth ratio = %g, want 1", got)
+	}
+}
+
+func TestRankwiseError(t *testing.T) {
+	a := []Item{{Score: 10}, {Score: 5}}
+	b := []Item{{Score: 9}, {Score: 8}}
+	if got := RankwiseError(a, b); got != 3 {
+		t.Errorf("RankwiseError = %g, want 3", got)
+	}
+	if got := RankwiseError(nil, b); got != 0 {
+		t.Errorf("empty = %g, want 0", got)
+	}
+}
+
+// Property: the retained set always contains the global maximum.
+func TestCollectorKeepsMaxProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCollector(1 + rng.Intn(5))
+		n := 1 + rng.Intn(100)
+		best := Item{ID: -1}
+		first := true
+		for i := 0; i < n; i++ {
+			it := Item{ID: tsdata.SeriesID(i), Score: rng.NormFloat64() * 100}
+			if first || less(best, it) {
+				best = it
+				first = false
+			}
+			c.Add(it.ID, it.Score)
+		}
+		res := c.Results()
+		return len(res) > 0 && res[0] == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultsDoesNotDrainCollector(t *testing.T) {
+	c := NewCollector(2)
+	c.Add(0, 1)
+	c.Add(1, 2)
+	r1 := c.Results()
+	c.Add(2, 3)
+	r2 := c.Results()
+	if len(r1) != 2 || len(r2) != 2 {
+		t.Fatal("collector drained by Results")
+	}
+	if r2[0].Score != 3 {
+		t.Error("collector stopped accepting after Results")
+	}
+	if !sort.SliceIsSorted(r2, func(a, b int) bool { return r2[a].Score > r2[b].Score }) {
+		t.Error("results not sorted")
+	}
+}

@@ -1,0 +1,172 @@
+package tsdata
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dataset is the full temporal database: m objects with N total
+// segments over temporal domain [Start, End] (the paper's [0, T]).
+type Dataset struct {
+	series []*Series
+
+	totalSegments int
+	start, end    float64
+	m             float64 // Σ_i σ_i(0,T) with absolute values when negatives present
+	sum           float64 // Σ_i σ_i(0,T), signed
+	hasNegative   bool
+}
+
+// NewDataset assembles a Dataset. Series must be indexed by their ID:
+// series[i].ID == i is enforced so that per-object running-sum arrays
+// can be indexed densely.
+func NewDataset(series []*Series) (*Dataset, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("tsdata: empty dataset")
+	}
+	d := &Dataset{series: series, start: math.Inf(1), end: math.Inf(-1)}
+	for i, s := range series {
+		if s == nil {
+			return nil, fmt.Errorf("tsdata: nil series at %d", i)
+		}
+		if int(s.ID) != i {
+			return nil, fmt.Errorf("tsdata: series at position %d has ID %d (must be dense 0..m-1)", i, s.ID)
+		}
+		d.totalSegments += s.NumSegments()
+		d.start = math.Min(d.start, s.Start())
+		d.end = math.Max(d.end, s.End())
+		d.sum += s.Total()
+		d.m += s.AbsTotal()
+		if s.HasNegative() {
+			d.hasNegative = true
+		}
+	}
+	return d, nil
+}
+
+// NumSeries returns m, the number of objects.
+func (d *Dataset) NumSeries() int { return len(d.series) }
+
+// NumSegments returns N, the total number of segments.
+func (d *Dataset) NumSegments() int { return d.totalSegments }
+
+// Series returns object i.
+func (d *Dataset) Series(i SeriesID) *Series { return d.series[i] }
+
+// AllSeries returns the underlying slice (callers must not mutate).
+func (d *Dataset) AllSeries() []*Series { return d.series }
+
+// Start returns the left end of the temporal domain.
+func (d *Dataset) Start() float64 { return d.start }
+
+// End returns T, the right end of the temporal domain.
+func (d *Dataset) End() float64 { return d.end }
+
+// Span returns End-Start.
+func (d *Dataset) Span() float64 { return d.end - d.start }
+
+// M returns M = Σ_i σ_i(0,T), using absolute integrals when any series
+// has negative values (the §4 extension); this is the normalizer in the
+// (ε,α)-approximation guarantees.
+func (d *Dataset) M() float64 { return d.m }
+
+// SignedTotal returns Σ_i σ_i(0,T) without the absolute-value
+// adjustment.
+func (d *Dataset) SignedTotal() float64 { return d.sum }
+
+// HasNegative reports whether any object has a negative score anywhere.
+func (d *Dataset) HasNegative() bool { return d.hasNegative }
+
+// AvgSegments returns navg.
+func (d *Dataset) AvgSegments() float64 {
+	return float64(d.totalSegments) / float64(len(d.series))
+}
+
+// MaxSegments returns n = max_i n_i.
+func (d *Dataset) MaxSegments() int {
+	n := 0
+	for _, s := range d.series {
+		if s.NumSegments() > n {
+			n = s.NumSegments()
+		}
+	}
+	return n
+}
+
+// Range computes σ_i(t1,t2) for object i (in-memory reference path).
+func (d *Dataset) Range(i SeriesID, t1, t2 float64) float64 {
+	return d.series[i].Range(t1, t2)
+}
+
+// Refresh recomputes dataset-level aggregates after series have been
+// extended via Series.Append. O(m).
+func (d *Dataset) Refresh() {
+	d.totalSegments = 0
+	d.start, d.end = math.Inf(1), math.Inf(-1)
+	d.sum, d.m = 0, 0
+	d.hasNegative = false
+	for _, s := range d.series {
+		d.totalSegments += s.NumSegments()
+		d.start = math.Min(d.start, s.Start())
+		d.end = math.Max(d.end, s.End())
+		d.sum += s.Total()
+		d.m += s.AbsTotal()
+		if s.HasNegative() {
+			d.hasNegative = true
+		}
+	}
+}
+
+// SegmentRef identifies a segment within the dataset: object i, local
+// segment index j.
+type SegmentRef struct {
+	Series  SeriesID
+	Index   int32
+	Segment Segment
+}
+
+// FlatSegments returns every segment of every object, sorted by left
+// endpoint time (ties broken by series then index). This is the input
+// ordering required by EXACT1 bulk-loading and breakpoint construction;
+// the sort mirrors the paper's external sort (at our scale it runs
+// in memory, the IO-metered variant lives in internal/extsort).
+func (d *Dataset) FlatSegments() []SegmentRef {
+	out := make([]SegmentRef, 0, d.totalSegments)
+	for _, s := range d.series {
+		for j := 0; j < s.NumSegments(); j++ {
+			out = append(out, SegmentRef{Series: s.ID, Index: int32(j), Segment: s.Segment(j)})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		sa, sb := out[a], out[b]
+		if sa.Segment.T1 != sb.Segment.T1 {
+			return sa.Segment.T1 < sb.Segment.T1
+		}
+		if sa.Series != sb.Series {
+			return sa.Series < sb.Series
+		}
+		return sa.Index < sb.Index
+	})
+	return out
+}
+
+// Clone deep-copies the dataset (used by update benchmarks so appends
+// do not pollute shared fixtures).
+func (d *Dataset) Clone() *Dataset {
+	cp := make([]*Series, len(d.series))
+	for i, s := range d.series {
+		times := append([]float64(nil), s.times...)
+		values := append([]float64(nil), s.values...)
+		ns, err := NewSeries(s.ID, times, values)
+		if err != nil {
+			panic(fmt.Sprintf("tsdata: clone of valid series failed: %v", err))
+		}
+		cp[i] = ns
+	}
+	nd, err := NewDataset(cp)
+	if err != nil {
+		panic(fmt.Sprintf("tsdata: clone of valid dataset failed: %v", err))
+	}
+	return nd
+}

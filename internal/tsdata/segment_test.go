@@ -1,0 +1,312 @@
+package tsdata
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return d <= tol
+	}
+	return d <= tol*scale
+}
+
+func TestSegmentAtEndpoints(t *testing.T) {
+	s := Segment{T1: 2, T2: 6, V1: 10, V2: -2}
+	if got := s.At(2); got != 10 {
+		t.Errorf("At(T1) = %g, want 10", got)
+	}
+	if got := s.At(6); got != -2 {
+		t.Errorf("At(T2) = %g, want -2", got)
+	}
+	if got := s.At(4); !approxEq(got, 4, 1e-12) {
+		t.Errorf("At(mid) = %g, want 4", got)
+	}
+}
+
+func TestSegmentSlope(t *testing.T) {
+	s := Segment{T1: 0, T2: 2, V1: 1, V2: 5}
+	if got := s.Slope(); got != 2 {
+		t.Errorf("Slope = %g, want 2", got)
+	}
+}
+
+func TestSegmentIntegralConstant(t *testing.T) {
+	s := Segment{T1: 1, T2: 5, V1: 3, V2: 3}
+	if got := s.Integral(); !approxEq(got, 12, 1e-12) {
+		t.Errorf("Integral = %g, want 12", got)
+	}
+}
+
+func TestSegmentIntegralTriangle(t *testing.T) {
+	s := Segment{T1: 0, T2: 4, V1: 0, V2: 8}
+	if got := s.Integral(); !approxEq(got, 16, 1e-12) {
+		t.Errorf("Integral = %g, want 16", got)
+	}
+}
+
+func TestSegmentIntegralOverClipping(t *testing.T) {
+	s := Segment{T1: 0, T2: 10, V1: 0, V2: 10} // g(t) = t
+	cases := []struct {
+		t1, t2, want float64
+	}{
+		{0, 10, 50},
+		{-5, 15, 50},  // clipped to full span
+		{2, 4, 6},     // ∫_2^4 t dt = 6
+		{10, 20, 0},   // disjoint right (touching)
+		{-10, 0, 0},   // disjoint left (touching)
+		{11, 20, 0},   // disjoint right
+		{-10, -1, 0},  // disjoint left
+		{5, 5, 0},     // empty interval
+		{4, 2, 0},     // inverted interval
+		{9, 100, 9.5}, // partial right ∫_9^10 t dt
+	}
+	for _, c := range cases {
+		if got := s.IntegralOver(c.t1, c.t2); !approxEq(got, c.want, 1e-12) {
+			t.Errorf("IntegralOver(%g,%g) = %g, want %g", c.t1, c.t2, got, c.want)
+		}
+	}
+}
+
+func TestSegmentIntegralOverNegative(t *testing.T) {
+	s := Segment{T1: 0, T2: 2, V1: -1, V2: -3}
+	if got := s.IntegralOver(0, 2); !approxEq(got, -4, 1e-12) {
+		t.Errorf("IntegralOver = %g, want -4", got)
+	}
+}
+
+func TestSegmentAbsIntegralNoCrossing(t *testing.T) {
+	pos := Segment{T1: 0, T2: 2, V1: 1, V2: 3}
+	if got := pos.AbsIntegral(); !approxEq(got, 4, 1e-12) {
+		t.Errorf("AbsIntegral(pos) = %g, want 4", got)
+	}
+	neg := Segment{T1: 0, T2: 2, V1: -1, V2: -3}
+	if got := neg.AbsIntegral(); !approxEq(got, 4, 1e-12) {
+		t.Errorf("AbsIntegral(neg) = %g, want 4", got)
+	}
+}
+
+func TestSegmentAbsIntegralCrossing(t *testing.T) {
+	// g(t) = t-1 on [0,2]: |area| = 0.5 + 0.5 = 1.
+	s := Segment{T1: 0, T2: 2, V1: -1, V2: 1}
+	if got := s.AbsIntegral(); !approxEq(got, 1, 1e-12) {
+		t.Errorf("AbsIntegral = %g, want 1", got)
+	}
+	// Clipped around the crossing.
+	if got := s.AbsIntegralOver(0.5, 1.5); !approxEq(got, 0.25, 1e-12) {
+		t.Errorf("AbsIntegralOver(0.5,1.5) = %g, want 0.25", got)
+	}
+}
+
+func TestSegmentValidate(t *testing.T) {
+	good := Segment{T1: 0, T2: 1, V1: 0, V2: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid segment rejected: %v", err)
+	}
+	bads := []Segment{
+		{T1: 1, T2: 1, V1: 0, V2: 0},
+		{T1: 2, T2: 1, V1: 0, V2: 0},
+		{T1: math.NaN(), T2: 1, V1: 0, V2: 0},
+		{T1: 0, T2: math.Inf(1), V1: 0, V2: 0},
+		{T1: 0, T2: 1, V1: math.NaN(), V2: 0},
+	}
+	for _, b := range bads {
+		if err := b.Validate(); err == nil {
+			t.Errorf("invalid segment %v accepted", b)
+		}
+	}
+}
+
+func TestSolveIntegralForwardLinear(t *testing.T) {
+	// Constant g = 2 on [0, 10]: ∫_0^x = 2x, target 6 -> x = 3.
+	s := Segment{T1: 0, T2: 10, V1: 2, V2: 2}
+	got, ok := s.SolveIntegralForward(0, 6)
+	if !ok || !approxEq(got, 3, 1e-12) {
+		t.Errorf("SolveIntegralForward = (%g,%v), want (3,true)", got, ok)
+	}
+}
+
+func TestSolveIntegralForwardQuadratic(t *testing.T) {
+	// g(t) = t on [0,10]: ∫_0^x = x²/2, target 8 -> x = 4.
+	s := Segment{T1: 0, T2: 10, V1: 0, V2: 10}
+	got, ok := s.SolveIntegralForward(0, 8)
+	if !ok || !approxEq(got, 4, 1e-12) {
+		t.Errorf("SolveIntegralForward = (%g,%v), want (4,true)", got, ok)
+	}
+	// From a midpoint: ∫_2^x t dt = target.
+	got, ok = s.SolveIntegralForward(2, 6) // x²/2 - 2 = 6 -> x = 4
+	if !ok || !approxEq(got, 4, 1e-12) {
+		t.Errorf("SolveIntegralForward(from 2) = (%g,%v), want (4,true)", got, ok)
+	}
+}
+
+func TestSolveIntegralForwardUnreachable(t *testing.T) {
+	s := Segment{T1: 0, T2: 1, V1: 1, V2: 1} // total area 1
+	if _, ok := s.SolveIntegralForward(0, 2); ok {
+		t.Error("target beyond segment total should fail")
+	}
+}
+
+func TestSolveIntegralForwardAtBoundary(t *testing.T) {
+	s := Segment{T1: 0, T2: 2, V1: 1, V2: 1}
+	got, ok := s.SolveIntegralForward(0, 2) // exactly the full area
+	if !ok || !approxEq(got, 2, 1e-9) {
+		t.Errorf("boundary solve = (%g,%v), want (2,true)", got, ok)
+	}
+}
+
+func TestSolveIntegralForwardDecreasingSlope(t *testing.T) {
+	// g(t) = 4-t on [0,4]: ∫_0^x = 4x - x²/2; target 6 -> x = 2.
+	s := Segment{T1: 0, T2: 4, V1: 4, V2: 0}
+	got, ok := s.SolveIntegralForward(0, 6)
+	if !ok || !approxEq(got, 2, 1e-9) {
+		t.Errorf("decreasing solve = (%g,%v), want (2,true)", got, ok)
+	}
+}
+
+// Property: IntegralOver is additive: σ(a,c) = σ(a,b) + σ(b,c).
+func TestSegmentIntegralAdditivityProperty(t *testing.T) {
+	f := func(rawT1, rawDur, v1, v2, cut1, cut2 float64) bool {
+		t1 := math.Mod(math.Abs(rawT1), 100)
+		dur := math.Mod(math.Abs(rawDur), 50) + 0.1
+		v1 = math.Mod(v1, 1000)
+		v2 = math.Mod(v2, 1000)
+		s := Segment{T1: t1, T2: t1 + dur, V1: v1, V2: v2}
+		a := t1 + dur*clamp01(cut1)
+		c := t1 + dur*clamp01(cut2)
+		if a > c {
+			a, c = c, a
+		}
+		b := (a + c) / 2
+		whole := s.IntegralOver(a, c)
+		split := s.IntegralOver(a, b) + s.IntegralOver(b, c)
+		return approxEq(whole, split, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SolveIntegralForward inverts IntegralOver for positive
+// segments.
+func TestSolveInvertsIntegralProperty(t *testing.T) {
+	f := func(rawV1, rawV2, rawFrac float64) bool {
+		v1 := math.Mod(math.Abs(rawV1), 100) + 0.5
+		v2 := math.Mod(math.Abs(rawV2), 100) + 0.5
+		s := Segment{T1: 0, T2: 10, V1: v1, V2: v2}
+		frac := clamp01(rawFrac)*0.98 + 0.01
+		target := s.Integral() * frac
+		x, ok := s.SolveIntegralForward(0, target)
+		if !ok {
+			return false
+		}
+		return approxEq(s.IntegralOver(0, x), target, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |AbsIntegralOver| >= |IntegralOver| and both agree for
+// non-negative segments.
+func TestAbsIntegralDominatesProperty(t *testing.T) {
+	f := func(v1, v2, c1, c2 float64) bool {
+		v1 = math.Mod(v1, 100)
+		v2 = math.Mod(v2, 100)
+		s := Segment{T1: 0, T2: 5, V1: v1, V2: v2}
+		a := 5 * clamp01(c1)
+		b := 5 * clamp01(c2)
+		if a > b {
+			a, b = b, a
+		}
+		abs := s.AbsIntegralOver(a, b)
+		signed := s.IntegralOver(a, b)
+		if abs < math.Abs(signed)-1e-9*math.Max(1, abs) {
+			return false
+		}
+		if v1 >= 0 && v2 >= 0 && !approxEq(abs, signed, 1e-9) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveAbsIntegralForwardPositive(t *testing.T) {
+	// Pure positive segment: behaves like the signed solver.
+	s := Segment{T1: 0, T2: 10, V1: 2, V2: 2}
+	got, ok := s.SolveAbsIntegralForward(0, 6)
+	if !ok || !approxEq(got, 3, 1e-9) {
+		t.Errorf("= (%g,%v), want (3,true)", got, ok)
+	}
+}
+
+func TestSolveAbsIntegralForwardNegative(t *testing.T) {
+	// Pure negative segment g=-2: |g|=2, target 6 -> t=3.
+	s := Segment{T1: 0, T2: 10, V1: -2, V2: -2}
+	got, ok := s.SolveAbsIntegralForward(0, 6)
+	if !ok || !approxEq(got, 3, 1e-9) {
+		t.Errorf("= (%g,%v), want (3,true)", got, ok)
+	}
+}
+
+func TestSolveAbsIntegralForwardCrossing(t *testing.T) {
+	// g(t) = t-2 on [0,4]: |area| over [0,2] = 2, over [2,4] = 2.
+	s := Segment{T1: 0, T2: 4, V1: -2, V2: 2}
+	// Target 2 reached exactly at the crossing t=2.
+	got, ok := s.SolveAbsIntegralForward(0, 2)
+	if !ok || !approxEq(got, 2, 1e-9) {
+		t.Errorf("target 2 = (%g,%v), want (2,true)", got, ok)
+	}
+	// Target 2.5: 0.5 into the positive piece: ∫_2^x (t-2) = (x-2)²/2 = 0.5 -> x=3.
+	got, ok = s.SolveAbsIntegralForward(0, 2.5)
+	if !ok || !approxEq(got, 3, 1e-9) {
+		t.Errorf("target 2.5 = (%g,%v), want (3,true)", got, ok)
+	}
+	// Unreachable.
+	if _, ok := s.SolveAbsIntegralForward(0, 5); ok {
+		t.Error("target beyond |area| accepted")
+	}
+}
+
+// Property: SolveAbsIntegralForward inverts AbsIntegralOver.
+func TestSolveAbsInvertsProperty(t *testing.T) {
+	f := func(rawV1, rawV2, rawFrac float64) bool {
+		v1 := math.Mod(rawV1, 100)
+		v2 := math.Mod(rawV2, 100)
+		if v1 == 0 && v2 == 0 {
+			return true
+		}
+		s := Segment{T1: 1, T2: 9, V1: v1, V2: v2}
+		frac := clamp01(rawFrac)*0.96 + 0.02
+		target := s.AbsIntegral() * frac
+		if target <= 0 {
+			return true
+		}
+		x, ok := s.SolveAbsIntegralForward(1, target)
+		if !ok {
+			return false
+		}
+		return approxEq(s.AbsIntegralOver(1, x), target, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(x float64) float64 {
+	x = math.Abs(math.Mod(x, 1))
+	if math.IsNaN(x) {
+		return 0.5
+	}
+	return x
+}

@@ -1,0 +1,285 @@
+package tsdata
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustSeries(t *testing.T, id SeriesID, times, values []float64) *Series {
+	t.Helper()
+	s, err := NewSeries(id, times, values)
+	if err != nil {
+		t.Fatalf("NewSeries: %v", err)
+	}
+	return s
+}
+
+// randomSeries builds a random piecewise-linear series for property
+// tests: n segments over [0, 100].
+func randomSeries(rng *rand.Rand, id SeriesID, n int, allowNegative bool) *Series {
+	times := make([]float64, n+1)
+	values := make([]float64, n+1)
+	t := rng.Float64() * 5
+	for j := 0; j <= n; j++ {
+		times[j] = t
+		t += 0.1 + rng.Float64()*3
+		v := rng.Float64() * 100
+		if allowNegative {
+			v -= 50
+		}
+		values[j] = v
+	}
+	s, err := NewSeries(id, times, values)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestNewSeriesValidation(t *testing.T) {
+	if _, err := NewSeries(0, []float64{0, 1}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewSeries(0, []float64{0}, []float64{1}); err == nil {
+		t.Error("single vertex accepted")
+	}
+	if _, err := NewSeries(0, []float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+	if _, err := NewSeries(0, []float64{0, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Error("NaN time accepted")
+	}
+	if _, err := NewSeries(0, []float64{0, 1}, []float64{1, math.Inf(1)}); err == nil {
+		t.Error("Inf value accepted")
+	}
+}
+
+func TestSeriesFromSegments(t *testing.T) {
+	segs := []Segment{
+		{T1: 0, T2: 1, V1: 0, V2: 2},
+		{T1: 1, T2: 3, V1: 2, V2: 2},
+	}
+	s, err := SeriesFromSegments(7, segs)
+	if err != nil {
+		t.Fatalf("SeriesFromSegments: %v", err)
+	}
+	if s.ID != 7 || s.NumSegments() != 2 {
+		t.Errorf("got ID=%d n=%d", s.ID, s.NumSegments())
+	}
+	if got := s.Total(); !approxEq(got, 5, 1e-12) {
+		t.Errorf("Total = %g, want 5", got)
+	}
+	// Non-contiguous chain must be rejected.
+	bad := []Segment{
+		{T1: 0, T2: 1, V1: 0, V2: 2},
+		{T1: 2, T2: 3, V1: 2, V2: 2},
+	}
+	if _, err := SeriesFromSegments(0, bad); err == nil {
+		t.Error("non-contiguous chain accepted")
+	}
+	// Value-discontinuous chain must be rejected too.
+	bad2 := []Segment{
+		{T1: 0, T2: 1, V1: 0, V2: 2},
+		{T1: 1, T2: 3, V1: 5, V2: 2},
+	}
+	if _, err := SeriesFromSegments(0, bad2); err == nil {
+		t.Error("value-discontinuous chain accepted")
+	}
+	if _, err := SeriesFromSegments(0, nil); err == nil {
+		t.Error("empty chain accepted")
+	}
+}
+
+func TestSeriesPrefix(t *testing.T) {
+	// g: (0,0)->(2,4)->(4,0): areas 4 and 4.
+	s := mustSeries(t, 0, []float64{0, 2, 4}, []float64{0, 4, 0})
+	wants := []float64{0, 4, 8}
+	for j, w := range wants {
+		if got := s.Prefix(j); !approxEq(got, w, 1e-12) {
+			t.Errorf("Prefix(%d) = %g, want %g", j, got, w)
+		}
+	}
+	if got := s.Total(); !approxEq(got, 8, 1e-12) {
+		t.Errorf("Total = %g, want 8", got)
+	}
+}
+
+func TestSeriesAtOutsideDomain(t *testing.T) {
+	s := mustSeries(t, 0, []float64{1, 2}, []float64{5, 5})
+	if got := s.At(0.5); got != 0 {
+		t.Errorf("At before domain = %g, want 0", got)
+	}
+	if got := s.At(3); got != 0 {
+		t.Errorf("At after domain = %g, want 0", got)
+	}
+	if got := s.At(1.5); got != 5 {
+		t.Errorf("At inside = %g, want 5", got)
+	}
+}
+
+func TestSeriesSegmentAt(t *testing.T) {
+	s := mustSeries(t, 0, []float64{0, 1, 2, 3}, []float64{0, 1, 2, 3})
+	cases := []struct {
+		t    float64
+		want int
+	}{
+		{0, 0}, {0.5, 0}, {1, 1}, {1.5, 1}, {2, 2}, {2.9, 2}, {3, 2},
+	}
+	for _, c := range cases {
+		if got := s.SegmentAt(c.t); got != c.want {
+			t.Errorf("SegmentAt(%g) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestSeriesRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		s := randomSeries(rng, 0, 1+rng.Intn(40), trial%2 == 0)
+		for q := 0; q < 40; q++ {
+			t1 := s.Start() - 2 + rng.Float64()*(s.End()-s.Start()+4)
+			t2 := t1 + rng.Float64()*(s.End()-s.Start())
+			want := bruteRange(s, t1, t2)
+			got := s.Range(t1, t2)
+			if !approxEq(got, want, 1e-8) {
+				t.Fatalf("trial %d: Range(%g,%g) = %g, want %g", trial, t1, t2, got, want)
+			}
+		}
+	}
+}
+
+// bruteRange sums IntegralOver across every segment — the O(n) EXACT1
+// inner loop, used as ground truth.
+func bruteRange(s *Series, t1, t2 float64) float64 {
+	var sum float64
+	for j := 0; j < s.NumSegments(); j++ {
+		sum += s.Segment(j).IntegralOver(t1, t2)
+	}
+	return sum
+}
+
+func bruteAbsRange(s *Series, t1, t2 float64) float64 {
+	var sum float64
+	for j := 0; j < s.NumSegments(); j++ {
+		sum += s.Segment(j).AbsIntegralOver(t1, t2)
+	}
+	return sum
+}
+
+func TestSeriesAbsRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		s := randomSeries(rng, 0, 1+rng.Intn(30), true)
+		for q := 0; q < 30; q++ {
+			t1 := s.Start() + rng.Float64()*(s.End()-s.Start())
+			t2 := t1 + rng.Float64()*(s.End()-t1)
+			want := bruteAbsRange(s, t1, t2)
+			got := s.AbsRange(t1, t2)
+			if !approxEq(got, want, 1e-8) {
+				t.Fatalf("trial %d: AbsRange(%g,%g) = %g, want %g", trial, t1, t2, got, want)
+			}
+		}
+	}
+}
+
+func TestSeriesRangeDegenerate(t *testing.T) {
+	s := mustSeries(t, 0, []float64{0, 10}, []float64{1, 1})
+	if got := s.Range(5, 5); got != 0 {
+		t.Errorf("empty interval = %g", got)
+	}
+	if got := s.Range(7, 3); got != 0 {
+		t.Errorf("inverted interval = %g", got)
+	}
+	if got := s.Range(-5, -1); got != 0 {
+		t.Errorf("fully left = %g", got)
+	}
+	if got := s.Range(11, 15); got != 0 {
+		t.Errorf("fully right = %g", got)
+	}
+	if got := s.Range(-5, 15); !approxEq(got, 10, 1e-12) {
+		t.Errorf("covering = %g, want 10", got)
+	}
+}
+
+func TestSeriesAppend(t *testing.T) {
+	s := mustSeries(t, 0, []float64{0, 1}, []float64{2, 2})
+	if err := s.Append(2, 4); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if s.NumSegments() != 2 {
+		t.Fatalf("NumSegments = %d, want 2", s.NumSegments())
+	}
+	if got := s.Total(); !approxEq(got, 2+3, 1e-12) {
+		t.Errorf("Total after append = %g, want 5", got)
+	}
+	if err := s.Append(1.5, 0); err == nil {
+		t.Error("append before end accepted")
+	}
+	if err := s.Append(3, math.NaN()); err == nil {
+		t.Error("NaN append accepted")
+	}
+}
+
+func TestSeriesAppendNegativeTransitionsAbsPrefix(t *testing.T) {
+	s := mustSeries(t, 0, []float64{0, 1}, []float64{2, 2})
+	if s.HasNegative() {
+		t.Fatal("fresh positive series claims negatives")
+	}
+	if err := s.Append(2, -2); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if !s.HasNegative() {
+		t.Fatal("negative append not detected")
+	}
+	// Segment (1,2)->(2,-2) crosses zero at 1.5: |area| = 1 + 1 = ... :
+	// trapezoid from 2 to -2 over width 1: crossing at t=1.5,
+	// |left|=0.5*0.5*2=0.5, |right|=0.5*0.5*2=0.5 -> 1.0. Plus first
+	// segment area 2.
+	if got := s.AbsTotal(); !approxEq(got, 3, 1e-12) {
+		t.Errorf("AbsTotal = %g, want 3", got)
+	}
+	if got := s.Total(); !approxEq(got, 2, 1e-12) {
+		t.Errorf("Total = %g, want 2", got)
+	}
+}
+
+// Property: Range is additive over a split point.
+func TestSeriesRangeAdditivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64, c1, c2 float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSeries(r, 0, 1+r.Intn(20), true)
+		span := s.End() - s.Start()
+		a := s.Start() + span*clamp01(c1)
+		c := s.Start() + span*clamp01(c2)
+		if a > c {
+			a, c = c, a
+		}
+		b := (a + c) / 2
+		return approxEq(s.Range(a, c), s.Range(a, b)+s.Range(b, c), 1e-8)
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: appending then querying within the old domain is unchanged.
+func TestSeriesAppendPreservesHistoryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSeries(r, 0, 2+r.Intn(15), false)
+		oldEnd := s.End()
+		before := s.Range(s.Start(), oldEnd)
+		if err := s.Append(oldEnd+1+r.Float64(), r.Float64()*10); err != nil {
+			return false
+		}
+		after := s.Range(s.Start(), oldEnd)
+		return approxEq(before, after, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+package tsio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"temporalrank/internal/gen"
+	"temporalrank/internal/tsdata"
+)
+
+func fixture(t *testing.T) *tsdata.Dataset {
+	t.Helper()
+	ds, err := gen.Temp(gen.TempConfig{M: 12, Navg: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func datasetsEqual(t *testing.T, a, b *tsdata.Dataset) {
+	t.Helper()
+	if a.NumSeries() != b.NumSeries() || a.NumSegments() != b.NumSegments() {
+		t.Fatalf("shape mismatch: (%d,%d) vs (%d,%d)",
+			a.NumSeries(), a.NumSegments(), b.NumSeries(), b.NumSegments())
+	}
+	for i := 0; i < a.NumSeries(); i++ {
+		sa := a.Series(tsdata.SeriesID(i))
+		sb := b.Series(tsdata.SeriesID(i))
+		if sa.NumSegments() != sb.NumSegments() {
+			t.Fatalf("series %d segments differ", i)
+		}
+		for j := 0; j <= sa.NumSegments(); j++ {
+			if sa.VertexTime(j) != sb.VertexTime(j) || sa.VertexValue(j) != sb.VertexValue(j) {
+				t.Fatalf("series %d vertex %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := fixture(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, ds, back)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	ds := fixture(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, ds, back)
+}
+
+func TestCSVInterleavedAndComments(t *testing.T) {
+	in := `# comment
+1,0,5
+0,0,1
+1,1,6
+
+0,1,2
+0,2,3
+1,2,7
+`
+	ds, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSeries() != 2 {
+		t.Fatalf("m = %d", ds.NumSeries())
+	}
+	if got := ds.Series(0).Range(0, 2); got != 4 { // trapezoid (1+2)/2 + (2+3)/2 = 1.5+2.5
+		t.Errorf("series 0 integral = %g, want 4", got)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad fields":   "1,2\n",
+		"bad id":       "x,0,1\n",
+		"bad time":     "0,x,1\n",
+		"bad value":    "0,0,x\n",
+		"negative id":  "-1,0,1\n",
+		"empty":        "",
+		"sparse ids":   "0,0,1\n0,1,2\n5,0,1\n5,1,2\n",
+		"single point": "0,0,1\n",
+		"dup time":     "0,1,1\n0,1,2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("TRK1")); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Truncated body.
+	ds := fixture(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestCSVNegativeValues(t *testing.T) {
+	ds, err := gen.RandomWalk(gen.RandomWalkConfig{M: 5, Navg: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, ds, back)
+	if !back.HasNegative() {
+		t.Error("negatives lost in round trip")
+	}
+}

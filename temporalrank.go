@@ -1,0 +1,261 @@
+// Package temporalrank ranks large temporal data by aggregate scores,
+// implementing the VLDB 2012 paper "Ranking Large Temporal Data"
+// (Jestes, Phillips, Li, Tang).
+//
+// A temporal database holds m objects, each a piecewise-linear score
+// function g_i over time. An aggregate top-k query top-k(t1, t2, sum)
+// returns the k objects with the largest σ_i(t1,t2) = ∫_{t1}^{t2} g_i.
+//
+// The package offers three exact indexes and five approximate indexes
+// with (ε,α)-approximation guarantees:
+//
+//	Method      Guarantee        Query IOs            Index size
+//	EXACT1      exact            O(log_B N + N/B)     O(N/B)
+//	EXACT2      exact            O(Σ log_B n_i)       O(N/B)
+//	EXACT3      exact            O(log_B N + m/B)     O(N/B)
+//	APPX1-B     (ε, 1)           O(k/B + log_B r)     O(r²·kmax/B)
+//	APPX2-B     (ε, 2·log r)     O(k·log r·log_B k)   O(r·kmax/B)
+//	APPX1       (ε, 1)           O(k/B + log_B r)     O(r²·kmax/B)
+//	APPX2       (ε, 2·log r)     O(k·log r·log_B k)   O(r·kmax/B)
+//	APPX2+      empirically ~exact, APPX2 cost + k·log r lookups
+//
+// Quick start:
+//
+//	db, _ := temporalrank.NewDB([]temporalrank.SeriesInput{
+//	    {Times: []float64{0, 1, 2}, Values: []float64{3, 5, 4}},
+//	    {Times: []float64{0, 1, 2}, Values: []float64{6, 1, 2}},
+//	})
+//	idx, _ := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact3})
+//	top, _ := idx.TopK(1, 0.5, 1.5)
+package temporalrank
+
+import (
+	"fmt"
+
+	"temporalrank/internal/blockio"
+	"temporalrank/internal/core"
+	"temporalrank/internal/exact"
+	"temporalrank/internal/topk"
+	"temporalrank/internal/tsdata"
+)
+
+// Method selects an index implementation.
+type Method string
+
+// The eight methods of the paper.
+const (
+	MethodExact1 Method = "EXACT1"
+	MethodExact2 Method = "EXACT2"
+	MethodExact3 Method = "EXACT3"
+	MethodAppx1B Method = "APPX1-B"
+	MethodAppx2B Method = "APPX2-B"
+	MethodAppx1  Method = "APPX1"
+	MethodAppx2  Method = "APPX2"
+	MethodAppx2P Method = "APPX2+"
+)
+
+// Methods lists all supported methods in the paper's order.
+func Methods() []Method {
+	out := make([]Method, 0, 8)
+	for _, n := range core.AllMethods() {
+		out = append(out, Method(n))
+	}
+	return out
+}
+
+// SeriesInput is one object's raw vertices: strictly increasing Times
+// and equal-length Values (at least two points).
+type SeriesInput struct {
+	Times  []float64
+	Values []float64
+}
+
+// Result is one ranked object.
+type Result struct {
+	ID    int     // object position in the DB (0-based)
+	Score float64 // the method's (possibly approximate) σ(t1,t2)
+}
+
+// DB is an immutable-by-default temporal database; objects can only
+// grow at their time frontier via Append (the paper's update model).
+type DB struct {
+	ds *tsdata.Dataset
+}
+
+// NewDB validates and assembles a database from raw series.
+func NewDB(series []SeriesInput) (*DB, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("temporalrank: no series given")
+	}
+	ss := make([]*tsdata.Series, len(series))
+	for i, in := range series {
+		s, err := tsdata.NewSeries(tsdata.SeriesID(i), in.Times, in.Values)
+		if err != nil {
+			return nil, err
+		}
+		ss[i] = s
+	}
+	ds, err := tsdata.NewDataset(ss)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{ds: ds}, nil
+}
+
+// NewDBFromDataset wraps an existing dataset (used by the generators
+// and the experiment harness).
+func NewDBFromDataset(ds *tsdata.Dataset) *DB { return &DB{ds: ds} }
+
+// Dataset exposes the underlying dataset for advanced use.
+func (db *DB) Dataset() *tsdata.Dataset { return db.ds }
+
+// NumSeries returns m.
+func (db *DB) NumSeries() int { return db.ds.NumSeries() }
+
+// NumSegments returns N.
+func (db *DB) NumSegments() int { return db.ds.NumSegments() }
+
+// Start returns the left end of the temporal domain.
+func (db *DB) Start() float64 { return db.ds.Start() }
+
+// End returns the right end of the temporal domain (the paper's T).
+func (db *DB) End() float64 { return db.ds.End() }
+
+// Score computes σ_i(t1,t2) exactly from the in-memory representation.
+func (db *DB) Score(id int, t1, t2 float64) (float64, error) {
+	if id < 0 || id >= db.ds.NumSeries() {
+		return 0, fmt.Errorf("temporalrank: unknown series %d", id)
+	}
+	return db.ds.Series(tsdata.SeriesID(id)).Range(t1, t2), nil
+}
+
+// TopK computes the exact answer by brute force over the in-memory
+// data — the reference all indexes are measured against.
+func (db *DB) TopK(k int, t1, t2 float64) []Result {
+	return toResults(core.Reference(db.ds, k, t1, t2))
+}
+
+// Options configures BuildIndex.
+type Options struct {
+	// Method selects the index; default MethodExact3 (the paper's best
+	// exact method).
+	Method Method
+	// BlockSize is the device page size in bytes (default 4096).
+	BlockSize int
+	// KMax bounds future query k on approximate methods (default 200).
+	KMax int
+	// Epsilon sets the (ε,α) error parameter directly; when 0, TargetR
+	// is used instead.
+	Epsilon float64
+	// TargetR asks for about this many breakpoints (default 500).
+	TargetR int
+	// CacheBlocks enables an LRU buffer pool of that many pages.
+	CacheBlocks int
+	// OnDiskPath stores the index in a file instead of memory.
+	OnDiskPath string
+}
+
+// Index is a built aggregate top-k index.
+type Index struct {
+	m  exact.Method
+	db *DB
+}
+
+// BuildIndex constructs an index over the database.
+func (db *DB) BuildIndex(opts Options) (*Index, error) {
+	name := core.MethodName(opts.Method)
+	if opts.Method == "" {
+		name = core.Exact3
+	}
+	cfg := core.Config{
+		BlockSize:   opts.BlockSize,
+		KMax:        opts.KMax,
+		Epsilon:     opts.Epsilon,
+		TargetR:     opts.TargetR,
+		CacheBlocks: opts.CacheBlocks,
+	}
+	if opts.OnDiskPath != "" {
+		path := opts.OnDiskPath
+		cfg.NewDevice = func(bs int) (blockio.Device, error) {
+			return blockio.OpenFileDevice(path, bs)
+		}
+	}
+	m, err := core.Build(name, db.ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{m: m, db: db}, nil
+}
+
+// Method returns the index's method name.
+func (ix *Index) Method() Method { return Method(ix.m.Name()) }
+
+// TopK answers top-k(t1, t2, sum) through the index.
+func (ix *Index) TopK(k int, t1, t2 float64) ([]Result, error) {
+	items, err := ix.m.TopK(k, t1, t2)
+	if err != nil {
+		return nil, err
+	}
+	return toResults(items), nil
+}
+
+// Score returns the index's estimate of σ_i(t1,t2) (exact for exact
+// methods; for approximate methods, 0 when the object is outside the
+// materialized lists).
+func (ix *Index) Score(id int, t1, t2 float64) (float64, error) {
+	return ix.m.Score(tsdata.SeriesID(id), t1, t2)
+}
+
+// Append extends object id with a new segment ending at (t, v); t must
+// be after the object's current end (§4 update model). The index and
+// the DB stay consistent.
+func (ix *Index) Append(id int, t, v float64) error {
+	if id < 0 || id >= ix.db.NumSeries() {
+		return fmt.Errorf("temporalrank: unknown series %d", id)
+	}
+	if core.IsApprox(core.MethodName(ix.m.Name())) {
+		// Approximate indexes own the dataset mutation (they track mass
+		// for the amortized rebuild).
+		return ix.m.Append(tsdata.SeriesID(id), t, v)
+	}
+	if err := ix.m.Append(tsdata.SeriesID(id), t, v); err != nil {
+		return err
+	}
+	if err := ix.db.ds.Series(tsdata.SeriesID(id)).Append(t, v); err != nil {
+		return err
+	}
+	ix.db.ds.Refresh()
+	return nil
+}
+
+// Stats reports index size and cumulative device IO.
+type Stats struct {
+	Pages      int
+	Bytes      int64
+	DeviceIOs  uint64
+	BlockSize  int
+	MethodName string
+}
+
+// Stats returns current index statistics.
+func (ix *Index) Stats() Stats {
+	bs := ix.m.Device().BlockSize()
+	return Stats{
+		Pages:      ix.m.IndexPages(),
+		Bytes:      int64(ix.m.IndexPages()) * int64(bs),
+		DeviceIOs:  ix.m.Device().Stats().Total(),
+		BlockSize:  bs,
+		MethodName: ix.m.Name(),
+	}
+}
+
+// ResetStats zeroes the device IO counters (for measuring one query).
+func (ix *Index) ResetStats() { ix.m.Device().ResetStats() }
+
+func toResults(items []topk.Item) []Result {
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{ID: int(it.ID), Score: it.Score}
+	}
+	return out
+}
