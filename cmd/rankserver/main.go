@@ -1,0 +1,143 @@
+// Command rankserver serves aggregate top-k queries over HTTP: it
+// loads (or generates) a temporal dataset, builds one of the paper's
+// eight indexes, and answers queries through the concurrent engine
+// (internal/engine) so many clients can be in flight at once.
+//
+// Usage:
+//
+//	rankserver -data temp.csv -method EXACT3 -addr :8080
+//	rankserver -gen 500x80 -method APPX2+ -workers 16
+//
+// Endpoints (all JSON):
+//
+//	GET  /topk?k=10&t1=50&t2=120   aggregate top-k(t1,t2,sum)
+//	GET  /avg?k=10&t1=50&t2=120    top-k(t1,t2,avg)
+//	GET  /instant?k=10&t=75        instant top-k(t)
+//	POST /append                    {"id":3,"t":130.5,"v":42.0}
+//	GET  /stats                     index + engine statistics
+//	GET  /healthz                   liveness probe
+//
+// SIGINT/SIGTERM drain in-flight requests before exit (graceful
+// shutdown).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"temporalrank"
+	"temporalrank/internal/gen"
+	"temporalrank/internal/tsio"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		data    = flag.String("data", "", "dataset path (CSV, or TRK1 with -binary)")
+		binary  = flag.Bool("binary", false, "dataset is TRK1 binary")
+		genSpec = flag.String("gen", "", "generate a synthetic dataset instead of loading: MxN (objects x avg segments), e.g. 500x80")
+		seed    = flag.Int64("seed", 1, "seed for -gen")
+		method  = flag.String("method", "EXACT3", "index method (EXACT1/2/3, APPX1-B, APPX2-B, APPX1, APPX2, APPX2+)")
+		r       = flag.Int("r", 500, "breakpoint budget for approximate methods")
+		kmax    = flag.Int("kmax", 200, "max k supported by approximate methods")
+		cache   = flag.Int("cache", 0, "LRU buffer pool size in pages (0 = none)")
+		workers = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+		build   = flag.Int("build-workers", 0, "parallel build workers for per-series construction (0 = sequential)")
+	)
+	flag.Parse()
+	if err := run(*addr, *data, *binary, *genSpec, *seed, *method, *r, *kmax, *cache, *workers, *build); err != nil {
+		fmt.Fprintln(os.Stderr, "rankserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, data string, binary bool, genSpec string, seed int64, method string, r, kmax, cache, workers, build int) error {
+	db, err := loadDB(data, binary, genSpec, seed)
+	if err != nil {
+		return err
+	}
+	log.Printf("loaded %d objects, %d segments, domain [%g, %g]",
+		db.NumSeries(), db.NumSegments(), db.Start(), db.End())
+
+	buildStart := time.Now()
+	ix, err := db.BuildIndex(temporalrank.Options{
+		Method:       temporalrank.Method(method),
+		TargetR:      r,
+		KMax:         kmax,
+		CacheBlocks:  cache,
+		BuildWorkers: build,
+	})
+	if err != nil {
+		return err
+	}
+	st := ix.Stats()
+	log.Printf("built %s in %v: %d pages (%d bytes)",
+		method, time.Since(buildStart).Round(time.Millisecond), st.Pages, st.Bytes)
+
+	srv := newServer(db, ix, workers)
+	defer srv.Close()
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, drain
+	// in-flight requests, then stop the worker pool.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %s on %s with %d workers", method, addr, srv.exec.Workers())
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(shutdownCtx)
+}
+
+func loadDB(data string, binary bool, genSpec string, seed int64) (*temporalrank.DB, error) {
+	switch {
+	case genSpec != "":
+		var m, n int
+		if _, err := fmt.Sscanf(genSpec, "%dx%d", &m, &n); err != nil {
+			return nil, fmt.Errorf("bad -gen %q (want MxN, e.g. 500x80): %w", genSpec, err)
+		}
+		ds, err := gen.RandomWalk(gen.RandomWalkConfig{M: m, Navg: n, Seed: seed, Span: 1000})
+		if err != nil {
+			return nil, err
+		}
+		return temporalrank.NewDBFromDataset(ds), nil
+	case data != "":
+		f, err := os.Open(data)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if binary {
+			ds, err := tsio.ReadBinary(f)
+			if err != nil {
+				return nil, err
+			}
+			return temporalrank.NewDBFromDataset(ds), nil
+		}
+		ds, err := tsio.ReadCSV(f)
+		if err != nil {
+			return nil, err
+		}
+		return temporalrank.NewDBFromDataset(ds), nil
+	default:
+		return nil, fmt.Errorf("one of -data or -gen is required")
+	}
+}

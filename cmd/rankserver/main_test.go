@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"temporalrank"
+	"temporalrank/internal/gen"
+)
+
+func testServer(t *testing.T, method temporalrank.Method) (*server, *temporalrank.DB, *httptest.Server) {
+	t.Helper()
+	ds, err := gen.RandomWalk(gen.RandomWalkConfig{M: 50, Navg: 40, Seed: 5, Span: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := temporalrank.NewDBFromDataset(ds)
+	ix, err := db.BuildIndex(temporalrank.Options{Method: method, TargetR: 80, KMax: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(db, ix, 8)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, db, ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestParallelTopKMatchesReference is the load-style acceptance test:
+// many goroutines issue /topk requests concurrently and every response
+// must match the brute-force DB.TopK reference answer.
+func TestParallelTopKMatchesReference(t *testing.T) {
+	_, db, ts := testServer(t, temporalrank.MethodExact3)
+
+	const (
+		clients           = 10
+		requestsPerClient = 30
+	)
+	span := db.End() - db.Start()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < requestsPerClient; i++ {
+				t1 := db.Start() + rng.Float64()*span*0.8
+				t2 := t1 + rng.Float64()*span*0.2
+				var got queryResponse
+				url := fmt.Sprintf("%s/topk?k=5&t1=%g&t2=%g", ts.URL, t1, t2)
+				resp, err := http.Get(url)
+				if err != nil {
+					errs <- err
+					return
+				}
+				code := resp.StatusCode
+				err = json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if err != nil {
+					errs <- fmt.Errorf("decode: %w", err)
+					return
+				}
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("status %d for %s", code, url)
+					return
+				}
+				want := db.TopK(5, t1, t2)
+				if len(got.Results) != len(want) {
+					errs <- fmt.Errorf("got %d results, want %d", len(got.Results), len(want))
+					return
+				}
+				for j := range want {
+					if got.Results[j].ID != want[j].ID {
+						errs <- fmt.Errorf("rank %d: got object %d, want %d", j, got.Results[j].ID, want[j].ID)
+						return
+					}
+				}
+			}
+		}(int64(c + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var st statsResponse
+	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("/stats status %d", code)
+	}
+	if st.Queries != clients*requestsPerClient {
+		t.Fatalf("stats: got %d queries, want %d", st.Queries, clients*requestsPerClient)
+	}
+	if st.QueryErrors != 0 {
+		t.Fatalf("stats: %d query errors", st.QueryErrors)
+	}
+}
+
+// TestEndpoints exercises every route once, including appends racing
+// queries on an approximate method.
+func TestEndpoints(t *testing.T) {
+	_, db, ts := testServer(t, temporalrank.MethodAppx2P)
+	mid := (db.Start() + db.End()) / 2
+
+	var q queryResponse
+	if code := getJSON(t, fmt.Sprintf("%s/topk?k=3&t1=%g&t2=%g", ts.URL, db.Start(), db.End()), &q); code != http.StatusOK {
+		t.Fatalf("/topk status %d", code)
+	}
+	if len(q.Results) != 3 || q.Method != "APPX2+" {
+		t.Fatalf("bad /topk response: %+v", q)
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/avg?k=3&t1=%g&t2=%g", ts.URL, db.Start(), db.End()), &q); code != http.StatusOK {
+		t.Fatalf("/avg status %d", code)
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/instant?k=3&t=%g", ts.URL, mid), &q); code != http.StatusOK {
+		t.Fatalf("/instant status %d", code)
+	}
+
+	// Appends racing queries: writer posts /append while readers hit
+	// /topk (the server-side mirror of the -race regression test).
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tcur := db.End()
+		for i := 0; i < 20; i++ {
+			tcur += 1
+			body, _ := json.Marshal(appendRequest{ID: i % db.NumSeries(), T: tcur, V: float64(i)})
+			resp, err := http.Post(ts.URL+"/append", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("/append status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		var r queryResponse
+		getJSON(t, fmt.Sprintf("%s/topk?k=3&t1=%g&t2=%g", ts.URL, db.Start(), mid), &r)
+	}
+	wg.Wait()
+
+	// Error paths.
+	resp, err := http.Get(ts.URL + "/topk?k=3&t1=oops&t2=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad t1: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/topk?k=3&t1=5&t2=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("inverted interval: status %d, want 422", resp.StatusCode)
+	}
+
+	// k guards: non-positive k rejected, huge k clamped to m (a DoS
+	// guard — k sizes the top-k heap).
+	resp, err = http.Get(ts.URL + "/topk?k=0&t1=0&t2=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("k=0: status %d, want 400", resp.StatusCode)
+	}
+	var clamped queryResponse
+	if code := getJSON(t, fmt.Sprintf("%s/topk?k=2000000000&t1=%g&t2=%g", ts.URL, db.Start(), mid), &clamped); code != http.StatusOK {
+		t.Fatalf("huge k: status %d, want 200", code)
+	}
+	if len(clamped.Results) > db.NumSeries() {
+		t.Fatalf("huge k: %d results for %d objects", len(clamped.Results), db.NumSeries())
+	}
+
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("/healthz: %d %v", code, health)
+	}
+}
+
+// TestLoadDBGen covers the synthetic data path used by -gen.
+func TestLoadDBGen(t *testing.T) {
+	db, err := loadDB("", false, "30x20", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumSeries() != 30 {
+		t.Fatalf("got %d series, want 30", db.NumSeries())
+	}
+	if _, err := loadDB("", false, "garbage", 2); err == nil {
+		t.Fatal("bad -gen spec should fail")
+	}
+	if _, err := loadDB("", false, "", 2); err == nil {
+		t.Fatal("missing -data and -gen should fail")
+	}
+}

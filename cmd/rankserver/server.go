@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"temporalrank"
+	"temporalrank/internal/engine"
+)
+
+// server is the HTTP front end over one index and its query engine.
+// It implements http.Handler, so tests mount it on httptest servers.
+type server struct {
+	db    *temporalrank.DB
+	ix    *temporalrank.Index
+	exec  *engine.Executor
+	mux   *http.ServeMux
+	start time.Time
+}
+
+func newServer(db *temporalrank.DB, ix *temporalrank.Index, workers int) *server {
+	s := &server{
+		db:    db,
+		ix:    ix,
+		exec:  engine.New(ix, workers),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("GET /topk", s.handleQuery(engine.OpTopK))
+	s.mux.HandleFunc("GET /avg", s.handleQuery(engine.OpAvg))
+	s.mux.HandleFunc("GET /instant", s.handleQuery(engine.OpInstant))
+	s.mux.HandleFunc("POST /append", s.handleAppend)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the worker pool (after the HTTP server has drained).
+func (s *server) Close() { s.exec.Close() }
+
+// resultJSON is one ranked object on the wire.
+type resultJSON struct {
+	ID    int     `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// queryResponse is the body of /topk, /avg, and /instant. T2 is a
+// pointer so instant queries omit it while an interval query's t2=0
+// is still echoed.
+type queryResponse struct {
+	Method    string       `json:"method"`
+	K         int          `json:"k"`
+	T1        float64      `json:"t1"`
+	T2        *float64     `json:"t2,omitempty"`
+	Results   []resultJSON `json:"results"`
+	LatencyNS int64        `json:"latency_ns"`
+	IOs       uint64       `json:"ios"`
+}
+
+func (s *server) handleQuery(op engine.Op) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		k, err := intParam(r, "k", 10)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if k < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("k must be >= 1, got %d", k))
+			return
+		}
+		// Clamp to the number of objects: a larger k cannot yield more
+		// results, and an unbounded k would size the top-k heap from
+		// attacker input.
+		if m := s.db.NumSeries(); k > m {
+			k = m
+		}
+		req := engine.Request{Op: op, K: k}
+		if op == engine.OpInstant {
+			t, err := floatParam(r, "t")
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			req.T1 = t
+		} else {
+			if req.T1, err = floatParam(r, "t1"); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			if req.T2, err = floatParam(r, "t2"); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		resp := s.exec.Do(r.Context(), req)
+		if resp.Err != nil {
+			writeError(w, http.StatusUnprocessableEntity, resp.Err)
+			return
+		}
+		out := queryResponse{
+			Method:    string(s.ix.Method()),
+			K:         k,
+			T1:        req.T1,
+			Results:   make([]resultJSON, len(resp.Results)),
+			LatencyNS: int64(resp.Latency),
+			IOs:       resp.IOs,
+		}
+		if op != engine.OpInstant {
+			t2 := req.T2
+			out.T2 = &t2
+		}
+		for i, res := range resp.Results {
+			out.Results[i] = resultJSON{ID: res.ID, Score: res.Score}
+		}
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+// appendRequest is the body of POST /append.
+type appendRequest struct {
+	ID int     `json:"id"`
+	T  float64 `json:"t"`
+	V  float64 `json:"v"`
+}
+
+func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req appendRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
+		return
+	}
+	if err := s.ix.Append(req.ID, req.T, req.V); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "t": req.T, "v": req.V, "status": "appended"})
+}
+
+// statsResponse is the body of /stats.
+type statsResponse struct {
+	Method        string  `json:"method"`
+	Objects       int     `json:"objects"`
+	Segments      int     `json:"segments"`
+	DomainStart   float64 `json:"domain_start"`
+	DomainEnd     float64 `json:"domain_end"`
+	IndexPages    int     `json:"index_pages"`
+	IndexBytes    int64   `json:"index_bytes"`
+	BlockSize     int     `json:"block_size"`
+	DeviceIOs     uint64  `json:"device_ios"`
+	Workers       int     `json:"workers"`
+	Queries       uint64  `json:"queries"`
+	QueryErrors   uint64  `json:"query_errors"`
+	BusyWorkers   int64   `json:"busy_workers"`
+	QueryTimeNS   int64   `json:"query_time_ns"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	ist := s.ix.Stats()
+	est := s.exec.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Method:        ist.MethodName,
+		Objects:       s.db.NumSeries(),
+		Segments:      s.db.NumSegments(),
+		DomainStart:   s.db.Start(),
+		DomainEnd:     s.db.End(),
+		IndexPages:    ist.Pages,
+		IndexBytes:    ist.Bytes,
+		BlockSize:     ist.BlockSize,
+		DeviceIOs:     ist.DeviceIOs,
+		Workers:       s.exec.Workers(),
+		Queries:       est.Queries,
+		QueryErrors:   est.Errors,
+		BusyWorkers:   est.Busy,
+		QueryTimeNS:   int64(est.TotalTime),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: %w", name, raw, err)
+	}
+	return v, nil
+}
+
+func floatParam(r *http.Request, name string) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing required parameter %s", name)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: %w", name, raw, err)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

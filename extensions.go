@@ -103,18 +103,23 @@ func (ix *Index) TopKAvg(k int, t1, t2 float64) ([]Result, error) {
 // query); other methods fall back to the in-memory data, since the
 // paper treats instants as its predecessor's problem.
 func (ix *Index) InstantTopK(k int, t float64) ([]Result, error) {
+	ix.mu.RLock()
 	if e3, ok := ix.m.(*exact.Exact3); ok {
+		defer ix.mu.RUnlock()
 		items, err := e3.InstantTopK(k, t)
 		if err != nil {
 			return nil, err
 		}
 		return toResults(items), nil
 	}
+	ix.mu.RUnlock()
 	return ix.db.InstantTopK(k, t), nil
 }
 
 // InstantTopK computes the instant query against the in-memory data.
 func (db *DB) InstantTopK(k int, t float64) []Result {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	c := topk.NewCollector(k)
 	for _, s := range db.ds.AllSeries() {
 		c.Add(s.ID, s.At(t))

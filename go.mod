@@ -1,0 +1,3 @@
+module temporalrank
+
+go 1.24

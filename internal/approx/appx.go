@@ -268,11 +268,18 @@ func NewAppx2Plus(dev blockio.Device, ds *tsdata.Dataset, kind Kind, eps float64
 // NewAppx2PlusWithBreaks builds APPX2+ over a precomputed breakpoint
 // set.
 func NewAppx2PlusWithBreaks(dev blockio.Device, ds *tsdata.Dataset, kind Kind, bps *breakpoint.Set, kmax int) (*Appx2Plus, error) {
+	return NewAppx2PlusWithBreaksParallel(dev, ds, kind, bps, kmax, 1)
+}
+
+// NewAppx2PlusWithBreaksParallel is NewAppx2PlusWithBreaks with the
+// rescoring forest's per-series construction spread over buildWorkers
+// goroutines (also on the amortized rebuilds triggered by Append).
+func NewAppx2PlusWithBreaksParallel(dev blockio.Device, ds *tsdata.Dataset, kind Kind, bps *breakpoint.Set, kmax, buildWorkers int) (*Appx2Plus, error) {
 	q, err := BuildQuery2(dev, ds, bps, kmax)
 	if err != nil {
 		return nil, err
 	}
-	e2, err := exact.BuildExact2(dev, ds)
+	e2, err := exact.BuildExact2Parallel(dev, ds, buildWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -291,7 +298,7 @@ func NewAppx2PlusWithBreaks(dev blockio.Device, ds *tsdata.Dataset, kind Kind, b
 		if err != nil {
 			return err
 		}
-		e2, err := exact.BuildExact2(dev, a.ds)
+		e2, err := exact.BuildExact2Parallel(dev, a.ds, buildWorkers)
 		if err != nil {
 			return err
 		}

@@ -3,6 +3,7 @@ package blockio
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // BufferPool wraps a Device with an LRU page cache. Hits are served
@@ -19,8 +20,8 @@ type BufferPool struct {
 	capacity int
 	frames   map[PageID]*list.Element
 	lru      *list.List // front = most recently used
-	hits     uint64
-	misses   uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
 }
 
 type frame struct {
@@ -69,12 +70,12 @@ func (p *BufferPool) Read(id PageID, buf []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if el, ok := p.frames[id]; ok {
-		p.hits++
+		p.hits.Add(1)
 		p.lru.MoveToFront(el)
 		copy(buf, el.Value.(*frame).data)
 		return nil
 	}
-	p.misses++
+	p.misses.Add(1)
 	data := make([]byte, p.dev.BlockSize())
 	if err := p.dev.Read(id, data); err != nil {
 		return err
@@ -97,14 +98,14 @@ func (p *BufferPool) Write(id PageID, data []byte) error {
 	page := make([]byte, p.dev.BlockSize())
 	copy(page, data)
 	if el, ok := p.frames[id]; ok {
-		p.hits++
+		p.hits.Add(1)
 		fr := el.Value.(*frame)
 		fr.data = page
 		fr.dirty = true
 		p.lru.MoveToFront(el)
 		return nil
 	}
-	p.misses++
+	p.misses.Add(1)
 	return p.installLocked(id, page, true)
 }
 
@@ -168,19 +169,17 @@ func (p *BufferPool) NumPages() int { return p.dev.NumPages() }
 func (p *BufferPool) Stats() Stats { return p.dev.Stats() }
 
 // ResetStats implements Device; also zeroes hit/miss counters.
+// Lock-free with respect to the data path.
 func (p *BufferPool) ResetStats() {
-	p.mu.Lock()
-	p.hits, p.misses = 0, 0
-	p.mu.Unlock()
+	p.hits.Store(0)
+	p.misses.Store(0)
 	p.dev.ResetStats()
 }
 
 // HitMiss returns the cache hit and miss counts since the last
-// ResetStats.
+// ResetStats. Lock-free.
 func (p *BufferPool) HitMiss() (hits, misses uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.hits, p.misses
+	return p.hits.Load(), p.misses.Load()
 }
 
 // Close flushes and closes the backing device.

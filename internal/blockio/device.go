@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultBlockSize matches the 4KB TPIE block size used in §5.
@@ -50,6 +51,37 @@ func (s Stats) Sub(t Stats) Stats {
 
 func (s Stats) String() string {
 	return fmt.Sprintf("reads=%d writes=%d allocs=%d frees=%d", s.Reads, s.Writes, s.Allocs, s.Frees)
+}
+
+// counters is the lock-free accounting shared by all devices: each
+// field is incremented atomically on the operation's hot path, so
+// Stats()/ResetStats() never contend with (or tear under) concurrent
+// queries. Counter updates are monotonic adds; a Snapshot taken during
+// concurrent traffic is a consistent-enough point-in-time reading for
+// the paper's IO metric (each field individually exact).
+type counters struct {
+	reads  atomic.Uint64
+	writes atomic.Uint64
+	allocs atomic.Uint64
+	frees  atomic.Uint64
+}
+
+// Snapshot materializes the counters as a plain Stats value.
+func (c *counters) Snapshot() Stats {
+	return Stats{
+		Reads:  c.reads.Load(),
+		Writes: c.writes.Load(),
+		Allocs: c.allocs.Load(),
+		Frees:  c.frees.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (c *counters) Reset() {
+	c.reads.Store(0)
+	c.writes.Store(0)
+	c.allocs.Store(0)
+	c.frees.Store(0)
 }
 
 // Common errors.
@@ -93,7 +125,7 @@ type MemDevice struct {
 	pages     [][]byte
 	freed     map[PageID]bool
 	freeList  []PageID
-	stats     Stats
+	stats     counters
 	closed    bool
 }
 
@@ -116,7 +148,7 @@ func (d *MemDevice) Alloc() (PageID, error) {
 	if d.closed {
 		return InvalidPage, ErrClosed
 	}
-	d.stats.Allocs++
+	d.stats.allocs.Add(1)
 	if n := len(d.freeList); n > 0 {
 		id := d.freeList[n-1]
 		d.freeList = d.freeList[:n-1]
@@ -155,7 +187,7 @@ func (d *MemDevice) Read(id PageID, buf []byte) error {
 	if len(buf) < d.blockSize {
 		return ErrShortBuffer
 	}
-	d.stats.Reads++
+	d.stats.reads.Add(1)
 	copy(buf, d.pages[id])
 	return nil
 }
@@ -170,7 +202,7 @@ func (d *MemDevice) Write(id PageID, data []byte) error {
 	if len(data) > d.blockSize {
 		return fmt.Errorf("blockio: write of %d bytes exceeds block size %d", len(data), d.blockSize)
 	}
-	d.stats.Writes++
+	d.stats.writes.Add(1)
 	page := d.pages[id]
 	copy(page, data)
 	for i := len(data); i < len(page); i++ {
@@ -186,7 +218,7 @@ func (d *MemDevice) Free(id PageID) error {
 	if err := d.checkLocked(id); err != nil {
 		return err
 	}
-	d.stats.Frees++
+	d.stats.frees.Add(1)
 	d.freed[id] = true
 	d.freeList = append(d.freeList, id)
 	return nil
@@ -199,19 +231,12 @@ func (d *MemDevice) NumPages() int {
 	return len(d.pages) - len(d.freeList)
 }
 
-// Stats implements Device.
-func (d *MemDevice) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
-}
+// Stats implements Device. Lock-free: safe to call while queries are
+// in flight without serializing against the data path.
+func (d *MemDevice) Stats() Stats { return d.stats.Snapshot() }
 
-// ResetStats implements Device.
-func (d *MemDevice) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = Stats{}
-}
+// ResetStats implements Device. Lock-free.
+func (d *MemDevice) ResetStats() { d.stats.Reset() }
 
 // Close implements Device.
 func (d *MemDevice) Close() error {

@@ -16,7 +16,7 @@ type FileDevice struct {
 	numPages  int
 	freed     map[PageID]bool
 	freeList  []PageID
-	stats     Stats
+	stats     counters
 	closed    bool
 }
 
@@ -42,15 +42,15 @@ func (d *FileDevice) Alloc() (PageID, error) {
 	if d.closed {
 		return InvalidPage, ErrClosed
 	}
-	d.stats.Allocs++
+	d.stats.allocs.Add(1)
 	if n := len(d.freeList); n > 0 {
 		id := d.freeList[n-1]
 		d.freeList = d.freeList[:n-1]
 		delete(d.freed, id)
-		if err := d.writeLocked(id, nil); err != nil {
+		// Zeroing on alloc is bookkeeping, not a counted write.
+		if err := d.writeRawLocked(id, nil); err != nil {
 			return InvalidPage, err
 		}
-		d.stats.Writes-- // zeroing on alloc is bookkeeping, not a counted write
 		return id, nil
 	}
 	id := PageID(d.numPages)
@@ -84,7 +84,7 @@ func (d *FileDevice) Read(id PageID, buf []byte) error {
 	if len(buf) < d.blockSize {
 		return ErrShortBuffer
 	}
-	d.stats.Reads++
+	d.stats.reads.Add(1)
 	_, err := d.f.ReadAt(buf[:d.blockSize], int64(id)*int64(d.blockSize))
 	if err != nil {
 		return fmt.Errorf("blockio: read page %d: %w", id, err)
@@ -106,7 +106,12 @@ func (d *FileDevice) Write(id PageID, data []byte) error {
 }
 
 func (d *FileDevice) writeLocked(id PageID, data []byte) error {
-	d.stats.Writes++
+	d.stats.writes.Add(1)
+	return d.writeRawLocked(id, data)
+}
+
+// writeRawLocked stores the page without touching the IO counters.
+func (d *FileDevice) writeRawLocked(id PageID, data []byte) error {
 	page := make([]byte, d.blockSize)
 	copy(page, data)
 	if _, err := d.f.WriteAt(page, int64(id)*int64(d.blockSize)); err != nil {
@@ -122,7 +127,7 @@ func (d *FileDevice) Free(id PageID) error {
 	if err := d.checkLocked(id); err != nil {
 		return err
 	}
-	d.stats.Frees++
+	d.stats.frees.Add(1)
 	d.freed[id] = true
 	d.freeList = append(d.freeList, id)
 	return nil
@@ -135,19 +140,11 @@ func (d *FileDevice) NumPages() int {
 	return d.numPages - len(d.freeList)
 }
 
-// Stats implements Device.
-func (d *FileDevice) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
-}
+// Stats implements Device. Lock-free.
+func (d *FileDevice) Stats() Stats { return d.stats.Snapshot() }
 
-// ResetStats implements Device.
-func (d *FileDevice) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = Stats{}
-}
+// ResetStats implements Device. Lock-free.
+func (d *FileDevice) ResetStats() { d.stats.Reset() }
 
 // Close implements Device.
 func (d *FileDevice) Close() error {

@@ -1,0 +1,252 @@
+// Package engine is the concurrent query layer over a built index: a
+// worker pool that executes batches of aggregate top-k queries in
+// parallel and reports per-query latency and IO, plus helpers that
+// parallelize index construction. It is the serving-side counterpart
+// of the paper's single-query cost model — the structures answer one
+// query in O(...) IOs, and the engine keeps many such queries in
+// flight against the same (read-safe) index.
+//
+// cmd/rankserver mounts an Executor behind an HTTP API; tests drive it
+// directly.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"temporalrank"
+)
+
+// Op names a query operation.
+type Op string
+
+// The operations the executor understands, mirroring the Index API.
+const (
+	// OpTopK is top-k(t1,t2,sum) through the index.
+	OpTopK Op = "topk"
+	// OpAvg is top-k(t1,t2,avg): same ranking, rescaled scores.
+	OpAvg Op = "avg"
+	// OpInstant is the instant query top-k(t); T1 carries t.
+	OpInstant Op = "instant"
+)
+
+// Request is one query to execute.
+type Request struct {
+	Op Op
+	K  int
+	T1 float64 // query start; the instant t for OpInstant
+	T2 float64 // query end; unused by OpInstant
+}
+
+// Response is one executed query.
+type Response struct {
+	Results []temporalrank.Result
+	// Latency is the wall time of the index call alone (queueing in the
+	// worker pool excluded).
+	Latency time.Duration
+	// IOs is the device IO delta observed over the call. The device is
+	// shared by all in-flight queries, so under concurrency this
+	// attributes overlapping queries' IOs to each other; it is exact
+	// when the executor has one worker or one in-flight query.
+	IOs uint64
+	Err error
+}
+
+// Stats aggregates an executor's lifetime activity.
+type Stats struct {
+	Queries   uint64 // completed queries, including failed ones
+	Errors    uint64 // completed queries that returned an error
+	Busy      int64  // queries executing right now
+	TotalTime time.Duration
+}
+
+type job struct {
+	req  Request
+	done func(Response)
+}
+
+// Executor is a fixed-size worker pool executing queries against one
+// index. Create with New, release with Close.
+type Executor struct {
+	ix      *temporalrank.Index
+	workers int
+	jobs    chan job
+	wg      sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+
+	queries atomic.Uint64
+	errors  atomic.Uint64
+	busy    atomic.Int64
+	nanos   atomic.Int64
+}
+
+// New starts an executor with the given number of workers (defaults to
+// GOMAXPROCS when workers <= 0).
+func New(ix *temporalrank.Index, workers int) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Executor{ix: ix, workers: workers, jobs: make(chan job)}
+	for i := 0; i < workers; i++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for j := range e.jobs {
+				j.done(e.run(j.req))
+			}
+		}()
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// Index returns the index the executor serves.
+func (e *Executor) Index() *temporalrank.Index { return e.ix }
+
+// run executes one request on the calling worker.
+func (e *Executor) run(req Request) Response {
+	e.busy.Add(1)
+	defer e.busy.Add(-1)
+	before := e.ix.DeviceIOs()
+	start := time.Now()
+	var (
+		res []temporalrank.Result
+		err error
+	)
+	switch req.Op {
+	case OpTopK:
+		res, err = e.ix.TopK(req.K, req.T1, req.T2)
+	case OpAvg:
+		res, err = e.ix.TopKAvg(req.K, req.T1, req.T2)
+	case OpInstant:
+		res, err = e.ix.InstantTopK(req.K, req.T1)
+	default:
+		err = fmt.Errorf("engine: unknown op %q", req.Op)
+	}
+	elapsed := time.Since(start)
+	after := e.ix.DeviceIOs()
+	var ios uint64
+	if after > before { // guard against a concurrent ResetStats
+		ios = after - before
+	}
+	e.queries.Add(1)
+	if err != nil {
+		e.errors.Add(1)
+	}
+	e.nanos.Add(int64(elapsed))
+	return Response{Results: res, Latency: elapsed, IOs: ios, Err: err}
+}
+
+// submit hands a job to the pool, or fails fast when the executor is
+// closed or the context is done.
+func (e *Executor) submit(ctx context.Context, j job) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return fmt.Errorf("engine: executor is closed")
+	}
+	select {
+	case e.jobs <- j:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do executes one request through the pool and waits for its response.
+func (e *Executor) Do(ctx context.Context, req Request) Response {
+	out := make(chan Response, 1)
+	if err := e.submit(ctx, job{req: req, done: func(r Response) { out <- r }}); err != nil {
+		return Response{Err: err}
+	}
+	select {
+	case r := <-out:
+		return r
+	case <-ctx.Done():
+		// The job may still run; its response is dropped.
+		return Response{Err: ctx.Err()}
+	}
+}
+
+// Exec executes a batch, returning responses in request order. All
+// requests run through the worker pool, so up to Workers() of them
+// proceed in parallel. A cancelled context fails the not-yet-submitted
+// remainder with ctx.Err() but waits for already-running queries.
+func (e *Executor) Exec(ctx context.Context, reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		idx := i
+		err := e.submit(ctx, job{req: reqs[i], done: func(r Response) {
+			out[idx] = r
+			wg.Done()
+		}})
+		if err != nil {
+			out[idx] = Response{Err: err}
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats returns a snapshot of lifetime executor activity.
+func (e *Executor) Stats() Stats {
+	return Stats{
+		Queries:   e.queries.Load(),
+		Errors:    e.errors.Load(),
+		Busy:      e.busy.Load(),
+		TotalTime: time.Duration(e.nanos.Load()),
+	}
+}
+
+// Close stops the workers after draining queued jobs. Safe to call
+// more than once; Do/Exec after Close fail cleanly.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.jobs)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// BuildIndexes constructs one index per option concurrently (up to
+// workers at once; defaults to GOMAXPROCS when workers <= 0). The
+// result slice is parallel to opts. On any failure the first error is
+// returned after all builds settle.
+func BuildIndexes(db *temporalrank.DB, opts []temporalrank.Options, workers int) ([]*temporalrank.Index, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ixs := make([]*temporalrank.Index, len(opts))
+	errs := make([]error, len(opts))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range opts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ixs[i], errs[i] = db.BuildIndex(opts[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: build %q: %w", opts[i].Method, err)
+		}
+	}
+	return ixs, nil
+}

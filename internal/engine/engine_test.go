@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"temporalrank"
+	"temporalrank/internal/gen"
+)
+
+func testDB(t *testing.T) *temporalrank.DB {
+	t.Helper()
+	ds, err := gen.RandomWalk(gen.RandomWalkConfig{M: 60, Navg: 40, Seed: 7, Span: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return temporalrank.NewDBFromDataset(ds)
+}
+
+func sameIDs(a, b []temporalrank.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExecBatchMatchesReference runs a large batch through the pool
+// and checks every response against the brute-force reference.
+func TestExecBatchMatchesReference(t *testing.T) {
+	db := testDB(t)
+	ix, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(ix, 8)
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(42))
+	span := db.End() - db.Start()
+	reqs := make([]Request, 200)
+	for i := range reqs {
+		t1 := db.Start() + rng.Float64()*span*0.8
+		t2 := t1 + rng.Float64()*span*0.2
+		reqs[i] = Request{Op: OpTopK, K: 5, T1: t1, T2: t2}
+	}
+	resps := e.Exec(context.Background(), reqs)
+	for i, r := range resps {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		want := db.TopK(reqs[i].K, reqs[i].T1, reqs[i].T2)
+		if !sameIDs(r.Results, want) {
+			t.Fatalf("query %d: got %v want %v", i, r.Results, want)
+		}
+	}
+	st := e.Stats()
+	if st.Queries != 200 {
+		t.Fatalf("stats: got %d queries, want 200", st.Queries)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("stats: got %d errors, want 0", st.Errors)
+	}
+}
+
+// TestDoOps exercises each op through Do.
+func TestDoOps(t *testing.T) {
+	db := testDB(t)
+	ix, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(ix, 2)
+	defer e.Close()
+	ctx := context.Background()
+	mid := (db.Start() + db.End()) / 2
+
+	if r := e.Do(ctx, Request{Op: OpTopK, K: 3, T1: db.Start(), T2: db.End()}); r.Err != nil || len(r.Results) != 3 {
+		t.Fatalf("topk: %+v", r)
+	}
+	if r := e.Do(ctx, Request{Op: OpAvg, K: 3, T1: db.Start(), T2: db.End()}); r.Err != nil || len(r.Results) != 3 {
+		t.Fatalf("avg: %+v", r)
+	}
+	if r := e.Do(ctx, Request{Op: OpInstant, K: 3, T1: mid}); r.Err != nil || len(r.Results) != 3 {
+		t.Fatalf("instant: %+v", r)
+	}
+	if r := e.Do(ctx, Request{Op: Op("nope")}); r.Err == nil {
+		t.Fatal("unknown op should fail")
+	}
+}
+
+// TestClosedExecutor verifies clean failure after Close.
+func TestClosedExecutor(t *testing.T) {
+	db := testDB(t)
+	ix, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(ix, 2)
+	e.Close()
+	e.Close() // idempotent
+	if r := e.Do(context.Background(), Request{Op: OpTopK, K: 1, T1: 0, T2: 1}); r.Err == nil {
+		t.Fatal("Do after Close should fail")
+	}
+}
+
+// TestBuildIndexesParallel builds all eight methods concurrently and
+// cross-checks one query per index against the reference.
+func TestBuildIndexesParallel(t *testing.T) {
+	db := testDB(t)
+	var opts []temporalrank.Options
+	for _, m := range temporalrank.Methods() {
+		opts = append(opts, temporalrank.Options{Method: m, TargetR: 80, KMax: 50, BuildWorkers: 4})
+	}
+	ixs, err := BuildIndexes(db, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := db.Start() + (db.End()-db.Start())*0.3
+	t2 := db.Start() + (db.End()-db.Start())*0.7
+	want := db.TopK(5, t1, t2)
+	for i, ix := range ixs {
+		got, err := ix.TopK(5, t1, t2)
+		if err != nil {
+			t.Fatalf("%s: %v", opts[i].Method, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: got %d results, want %d", opts[i].Method, len(got), len(want))
+		}
+		// Exact methods must match the reference exactly.
+		if i < 3 && !sameIDs(got, want) {
+			t.Fatalf("%s: got %v want %v", opts[i].Method, got, want)
+		}
+	}
+}
+
+// TestExact2ParallelBuildMatchesSequential verifies the per-series
+// parallel construction answers identically to the sequential build.
+func TestExact2ParallelBuildMatchesSequential(t *testing.T) {
+	db := testDB(t)
+	seq, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact2, BuildWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	span := db.End() - db.Start()
+	for q := 0; q < 50; q++ {
+		t1 := db.Start() + rng.Float64()*span*0.8
+		t2 := t1 + rng.Float64()*span*0.2
+		a, err := seq.TopK(7, t1, t2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.TopK(7, t1, t2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(a, b) {
+			t.Fatalf("query %d: sequential %v parallel %v", q, a, b)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package exact
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"temporalrank/internal/blockio"
 	"temporalrank/internal/bptree"
@@ -29,6 +31,18 @@ type Exact2 struct {
 
 // BuildExact2 bulk-loads the m object trees onto dev.
 func BuildExact2(dev blockio.Device, ds *tsdata.Dataset) (*Exact2, error) {
+	return BuildExact2Parallel(dev, ds, 1)
+}
+
+// BuildExact2Parallel bulk-loads the m object trees with up to workers
+// goroutines. The forest answers queries identically to the sequential
+// build: each tree is built independently and the device serializes
+// page allocation, so only the interleaving of page IDs across trees
+// differs. Raw-device IO counts match the sequential build too; under
+// a BufferPool the interleaving perturbs LRU order, so cached build
+// IO can differ run to run. workers <= 1 builds sequentially with
+// deterministic page order.
+func BuildExact2Parallel(dev blockio.Device, ds *tsdata.Dataset, workers int) (*Exact2, error) {
 	m := ds.NumSeries()
 	e := &Exact2{
 		dev:      dev,
@@ -37,7 +51,12 @@ func BuildExact2(dev blockio.Device, ds *tsdata.Dataset) (*Exact2, error) {
 		ends:     make([]float64, m),
 		frontier: make([]vertex, m),
 	}
-	for i, s := range ds.AllSeries() {
+	series := ds.AllSeries()
+	// buildTree is the single copy of the per-object entry layout,
+	// shared by the sequential and parallel paths. Distinct i never
+	// collide on e's slices, so no locking is needed around the stores.
+	buildTree := func(i int) error {
+		s := series[i]
 		n := s.NumSegments()
 		entries := make([]bptree.Entry, n)
 		for j := 0; j < n; j++ {
@@ -51,12 +70,58 @@ func BuildExact2(dev blockio.Device, ds *tsdata.Dataset) (*Exact2, error) {
 		}
 		tree, err := bptree.BulkLoad(dev, exact2ValueSize, entries)
 		if err != nil {
-			return nil, fmt.Errorf("exact2: bulk load tree %d: %w", i, err)
+			return fmt.Errorf("exact2: bulk load tree %d: %w", i, err)
 		}
 		e.trees[i] = tree
 		e.starts[i] = s.Start()
 		e.ends[i] = s.End()
 		e.frontier[i] = vertex{t: s.End(), v: s.VertexValue(n)}
+		return nil
+	}
+	if workers <= 1 {
+		for i := 0; i < m; i++ {
+			if err := buildTree(i); err != nil {
+				return nil, err
+			}
+		}
+		return e, nil
+	}
+	if workers > m {
+		workers = m
+	}
+	var (
+		wg     sync.WaitGroup
+		next   = make(chan int)
+		mu     sync.Mutex
+		ferr   error
+		failed atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if failed.Load() {
+					continue // drain without building once a tree failed
+				}
+				if err := buildTree(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if ferr == nil {
+						ferr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < m && !failed.Load(); i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if ferr != nil {
+		return nil, ferr
 	}
 	return e, nil
 }

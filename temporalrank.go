@@ -31,6 +31,7 @@ package temporalrank
 
 import (
 	"fmt"
+	"sync"
 
 	"temporalrank/internal/blockio"
 	"temporalrank/internal/core"
@@ -53,6 +54,9 @@ const (
 	MethodAppx2  Method = "APPX2"
 	MethodAppx2P Method = "APPX2+"
 )
+
+// IsApprox reports whether the method gives approximate answers.
+func (m Method) IsApprox() bool { return core.IsApprox(core.MethodName(m)) }
 
 // Methods lists all supported methods in the paper's order.
 func Methods() []Method {
@@ -78,7 +82,16 @@ type Result struct {
 
 // DB is an immutable-by-default temporal database; objects can only
 // grow at their time frontier via Append (the paper's update model).
+//
+// DB is safe for concurrent use: reads (TopK, Score, InstantTopK, and
+// the accessors) take a shared lock, and Index.Append takes the
+// exclusive lock while it mutates the underlying dataset. When several
+// indexes are built over one DB, route all appends through a single
+// index — each index tracks its own per-object frontier.
 type DB struct {
+	// mu guards ds. Lock ordering: an Index always acquires its own
+	// mutex before this one.
+	mu sync.RWMutex
 	ds *tsdata.Dataset
 }
 
@@ -106,23 +119,43 @@ func NewDB(series []SeriesInput) (*DB, error) {
 // and the experiment harness).
 func NewDBFromDataset(ds *tsdata.Dataset) *DB { return &DB{ds: ds} }
 
-// Dataset exposes the underlying dataset for advanced use.
+// Dataset exposes the underlying dataset for advanced use. The
+// returned dataset is NOT protected by the DB's lock; do not use it
+// concurrently with Index.Append.
 func (db *DB) Dataset() *tsdata.Dataset { return db.ds }
 
 // NumSeries returns m.
-func (db *DB) NumSeries() int { return db.ds.NumSeries() }
+func (db *DB) NumSeries() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ds.NumSeries()
+}
 
 // NumSegments returns N.
-func (db *DB) NumSegments() int { return db.ds.NumSegments() }
+func (db *DB) NumSegments() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ds.NumSegments()
+}
 
 // Start returns the left end of the temporal domain.
-func (db *DB) Start() float64 { return db.ds.Start() }
+func (db *DB) Start() float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ds.Start()
+}
 
 // End returns the right end of the temporal domain (the paper's T).
-func (db *DB) End() float64 { return db.ds.End() }
+func (db *DB) End() float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ds.End()
+}
 
 // Score computes σ_i(t1,t2) exactly from the in-memory representation.
 func (db *DB) Score(id int, t1, t2 float64) (float64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if id < 0 || id >= db.ds.NumSeries() {
 		return 0, fmt.Errorf("temporalrank: unknown series %d", id)
 	}
@@ -132,6 +165,8 @@ func (db *DB) Score(id int, t1, t2 float64) (float64, error) {
 // TopK computes the exact answer by brute force over the in-memory
 // data — the reference all indexes are measured against.
 func (db *DB) TopK(k int, t1, t2 float64) []Result {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return toResults(core.Reference(db.ds, k, t1, t2))
 }
 
@@ -151,12 +186,24 @@ type Options struct {
 	TargetR int
 	// CacheBlocks enables an LRU buffer pool of that many pages.
 	CacheBlocks int
+	// BuildWorkers, when > 1, parallelizes construction across series
+	// for methods that build one structure per object (EXACT2).
+	BuildWorkers int
 	// OnDiskPath stores the index in a file instead of memory.
 	OnDiskPath string
 }
 
 // Index is a built aggregate top-k index.
+//
+// Index is safe for concurrent use: queries (TopK, Score, TopKAvg,
+// InstantTopK, Stats) run in parallel under a shared lock, while
+// Append takes the exclusive lock — both on the index (whose
+// structures it grows or, for approximate methods, rebuilds) and on
+// the DB (whose dataset it extends).
 type Index struct {
+	// mu guards m's internal structures. Queries hold it shared; Append
+	// holds it exclusively. Lock ordering: mu before db.mu.
+	mu sync.RWMutex
 	m  exact.Method
 	db *DB
 }
@@ -168,11 +215,12 @@ func (db *DB) BuildIndex(opts Options) (*Index, error) {
 		name = core.Exact3
 	}
 	cfg := core.Config{
-		BlockSize:   opts.BlockSize,
-		KMax:        opts.KMax,
-		Epsilon:     opts.Epsilon,
-		TargetR:     opts.TargetR,
-		CacheBlocks: opts.CacheBlocks,
+		BlockSize:    opts.BlockSize,
+		KMax:         opts.KMax,
+		Epsilon:      opts.Epsilon,
+		TargetR:      opts.TargetR,
+		CacheBlocks:  opts.CacheBlocks,
+		BuildWorkers: opts.BuildWorkers,
 	}
 	if opts.OnDiskPath != "" {
 		path := opts.OnDiskPath
@@ -180,7 +228,9 @@ func (db *DB) BuildIndex(opts Options) (*Index, error) {
 			return blockio.OpenFileDevice(path, bs)
 		}
 	}
+	db.mu.RLock()
 	m, err := core.Build(name, db.ds, cfg)
+	db.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +242,8 @@ func (ix *Index) Method() Method { return Method(ix.m.Name()) }
 
 // TopK answers top-k(t1, t2, sum) through the index.
 func (ix *Index) TopK(k int, t1, t2 float64) ([]Result, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	items, err := ix.m.TopK(k, t1, t2)
 	if err != nil {
 		return nil, err
@@ -203,6 +255,8 @@ func (ix *Index) TopK(k int, t1, t2 float64) ([]Result, error) {
 // methods; for approximate methods, 0 when the object is outside the
 // materialized lists).
 func (ix *Index) Score(id int, t1, t2 float64) (float64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.m.Score(tsdata.SeriesID(id), t1, t2)
 }
 
@@ -210,13 +264,23 @@ func (ix *Index) Score(id int, t1, t2 float64) (float64, error) {
 // be after the object's current end (§4 update model). The index and
 // the DB stay consistent.
 func (ix *Index) Append(id int, t, v float64) error {
-	if id < 0 || id >= ix.db.NumSeries() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.db.mu.Lock()
+	defer ix.db.mu.Unlock()
+	if id < 0 || id >= ix.db.ds.NumSeries() {
 		return fmt.Errorf("temporalrank: unknown series %d", id)
 	}
 	if core.IsApprox(core.MethodName(ix.m.Name())) {
 		// Approximate indexes own the dataset mutation (they track mass
-		// for the amortized rebuild).
-		return ix.m.Append(tsdata.SeriesID(id), t, v)
+		// for the amortized rebuild), but refresh the dataset aggregates
+		// here so DB.End()/NumSegments() reflect the append immediately
+		// rather than only after the next rebuild.
+		if err := ix.m.Append(tsdata.SeriesID(id), t, v); err != nil {
+			return err
+		}
+		ix.db.ds.Refresh()
+		return nil
 	}
 	if err := ix.m.Append(tsdata.SeriesID(id), t, v); err != nil {
 		return err
@@ -237,12 +301,17 @@ type Stats struct {
 	MethodName string
 }
 
-// Stats returns current index statistics.
+// Stats returns current index statistics. The device counters are
+// atomic, so this is safe (and non-blocking) even while queries are in
+// flight.
 func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	bs := ix.m.Device().BlockSize()
+	pages := ix.m.IndexPages()
 	return Stats{
-		Pages:      ix.m.IndexPages(),
-		Bytes:      int64(ix.m.IndexPages()) * int64(bs),
+		Pages:      pages,
+		Bytes:      int64(pages) * int64(bs),
 		DeviceIOs:  ix.m.Device().Stats().Total(),
 		BlockSize:  bs,
 		MethodName: ix.m.Name(),
@@ -250,7 +319,21 @@ func (ix *Index) Stats() Stats {
 }
 
 // ResetStats zeroes the device IO counters (for measuring one query).
-func (ix *Index) ResetStats() { ix.m.Device().ResetStats() }
+func (ix *Index) ResetStats() {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ix.m.Device().ResetStats()
+}
+
+// DeviceIOs returns the device's cumulative IO count (Stats().Total()).
+// Unlike Index.Stats it skips IndexPages(), whose NumPages() call takes
+// the device mutex — this touches only the atomic counters, so it is
+// the accessor the query engine samples around each call.
+func (ix *Index) DeviceIOs() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.m.Device().Stats().Total()
+}
 
 func toResults(items []topk.Item) []Result {
 	out := make([]Result, len(items))
