@@ -1,24 +1,32 @@
 // Command rankserver serves aggregate top-k queries over HTTP: it
-// loads (or generates) a temporal dataset, builds one of the paper's
-// eight indexes, and answers queries through the concurrent engine
-// (internal/engine) so many clients can be in flight at once.
+// loads (or generates) a temporal dataset, builds one or more of the
+// paper's eight indexes, and answers queries through an adaptive
+// Planner and the concurrent engine (internal/engine) so many clients
+// can be in flight at once.
 //
 // Usage:
 //
 //	rankserver -data temp.csv -method EXACT3 -addr :8080
-//	rankserver -gen 500x80 -method APPX2+ -workers 16
+//	rankserver -gen 500x80 -method EXACT3,APPX2+ -workers 16
+//
+// With several -method values the Planner routes each query to the
+// cheapest index satisfying its error tolerance (the eps parameter);
+// eps=0 or no eps demands an exact answer.
 //
 // Endpoints (all JSON):
 //
-//	GET  /topk?k=10&t1=50&t2=120   aggregate top-k(t1,t2,sum)
-//	GET  /avg?k=10&t1=50&t2=120    top-k(t1,t2,avg)
-//	GET  /instant?k=10&t=75        instant top-k(t)
-//	POST /append                    {"id":3,"t":130.5,"v":42.0}
-//	GET  /stats                     index + engine statistics
+//	GET  /query?agg=sum&k=10&t1=50&t2=120&eps=0.05   primary: declarative query
+//	GET  /topk?k=10&t1=50&t2=120   top-k(t1,t2,sum)  (deprecated: /query)
+//	GET  /avg?k=10&t1=50&t2=120    top-k(t1,t2,avg)  (deprecated: /query)
+//	GET  /instant?k=10&t=75        instant top-k(t)  (deprecated: /query)
+//	GET  /score?id=3&t1=50&t2=120  one object's σ(t1,t2); 404 not_materialized
+//	POST /append                    {"id":3,"t":130.5,"v":42.0} (single-index only)
+//	GET  /stats                     dataset + per-index + engine statistics
 //	GET  /healthz                   liveness probe
 //
-// SIGINT/SIGTERM drain in-flight requests before exit (graceful
-// shutdown).
+// Every query runs under a -timeout deadline propagated through the
+// worker pool; SIGINT/SIGTERM drain in-flight requests before exit
+// (graceful shutdown).
 package main
 
 import (
@@ -29,10 +37,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"temporalrank"
+	"temporalrank/internal/engine"
 	"temporalrank/internal/gen"
 	"temporalrank/internal/tsio"
 )
@@ -44,21 +54,22 @@ func main() {
 		binary  = flag.Bool("binary", false, "dataset is TRK1 binary")
 		genSpec = flag.String("gen", "", "generate a synthetic dataset instead of loading: MxN (objects x avg segments), e.g. 500x80")
 		seed    = flag.Int64("seed", 1, "seed for -gen")
-		method  = flag.String("method", "EXACT3", "index method (EXACT1/2/3, APPX1-B, APPX2-B, APPX1, APPX2, APPX2+)")
+		method  = flag.String("method", "EXACT3", "comma-separated index methods for the planner (EXACT1/2/3, APPX1-B, APPX2-B, APPX1, APPX2, APPX2+)")
 		r       = flag.Int("r", 500, "breakpoint budget for approximate methods")
 		kmax    = flag.Int("kmax", 200, "max k supported by approximate methods")
 		cache   = flag.Int("cache", 0, "LRU buffer pool size in pages (0 = none)")
 		workers = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
 		build   = flag.Int("build-workers", 0, "parallel build workers for per-series construction (0 = sequential)")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-query deadline (0 = none)")
 	)
 	flag.Parse()
-	if err := run(*addr, *data, *binary, *genSpec, *seed, *method, *r, *kmax, *cache, *workers, *build); err != nil {
+	if err := run(*addr, *data, *binary, *genSpec, *seed, *method, *r, *kmax, *cache, *workers, *build, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "rankserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, data string, binary bool, genSpec string, seed int64, method string, r, kmax, cache, workers, build int) error {
+func run(addr, data string, binary bool, genSpec string, seed int64, methods string, r, kmax, cache, workers, build int, timeout time.Duration) error {
 	db, err := loadDB(data, binary, genSpec, seed)
 	if err != nil {
 		return err
@@ -66,22 +77,38 @@ func run(addr, data string, binary bool, genSpec string, seed int64, method stri
 	log.Printf("loaded %d objects, %d segments, domain [%g, %g]",
 		db.NumSeries(), db.NumSegments(), db.Start(), db.End())
 
+	var opts []temporalrank.Options
+	for _, m := range strings.Split(methods, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		opts = append(opts, temporalrank.Options{
+			Method:       temporalrank.Method(m),
+			TargetR:      r,
+			KMax:         kmax,
+			CacheBlocks:  cache,
+			BuildWorkers: build,
+		})
+	}
+	if len(opts) == 0 {
+		return fmt.Errorf("-method must name at least one index")
+	}
 	buildStart := time.Now()
-	ix, err := db.BuildIndex(temporalrank.Options{
-		Method:       temporalrank.Method(method),
-		TargetR:      r,
-		KMax:         kmax,
-		CacheBlocks:  cache,
-		BuildWorkers: build,
-	})
+	ixs, err := engine.BuildIndexes(db, opts, 0)
 	if err != nil {
 		return err
 	}
-	st := ix.Stats()
-	log.Printf("built %s in %v: %d pages (%d bytes)",
-		method, time.Since(buildStart).Round(time.Millisecond), st.Pages, st.Bytes)
+	for _, ix := range ixs {
+		st := ix.Stats()
+		log.Printf("built %s: %d pages (%d bytes)", st.MethodName, st.Pages, st.Bytes)
+	}
+	log.Printf("all %d indexes built in %v", len(ixs), time.Since(buildStart).Round(time.Millisecond))
 
-	srv := newServer(db, ix, workers)
+	srv, err := newServer(db, ixs, workers, timeout)
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 
@@ -91,7 +118,7 @@ func run(addr, data string, binary bool, genSpec string, seed int64, method stri
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving %s on %s with %d workers", method, addr, srv.exec.Workers())
+		log.Printf("serving %s on %s with %d workers", methods, addr, srv.exec.Workers())
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errc <- err
 		}

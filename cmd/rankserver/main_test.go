@@ -9,23 +9,30 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"temporalrank"
 	"temporalrank/internal/gen"
 )
 
-func testServer(t *testing.T, method temporalrank.Method) (*server, *temporalrank.DB, *httptest.Server) {
+func testServer(t *testing.T, methods ...temporalrank.Method) (*server, *temporalrank.DB, *httptest.Server) {
 	t.Helper()
 	ds, err := gen.RandomWalk(gen.RandomWalkConfig{M: 50, Navg: 40, Seed: 5, Span: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
 	db := temporalrank.NewDBFromDataset(ds)
-	ix, err := db.BuildIndex(temporalrank.Options{Method: method, TargetR: 80, KMax: 50})
+	ixs := make([]*temporalrank.Index, len(methods))
+	for i, m := range methods {
+		ixs[i], err = db.BuildIndex(temporalrank.Options{Method: m, TargetR: 80, KMax: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := newServer(db, ixs, 8, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(db, ix, 8)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
@@ -175,13 +182,15 @@ func TestEndpoints(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad t1: status %d, want 400", resp.StatusCode)
 	}
+	// An inverted interval is now a typed ErrBadInterval, mapped to 400
+	// (it was a 422 before the unified query API).
 	resp, err = http.Get(ts.URL + "/topk?k=3&t1=5&t2=1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Fatalf("inverted interval: status %d, want 422", resp.StatusCode)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inverted interval: status %d, want 400", resp.StatusCode)
 	}
 
 	// k guards: non-positive k rejected, huge k clamped to m (a DoS
@@ -205,6 +214,160 @@ func TestEndpoints(t *testing.T) {
 	var health map[string]string
 	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
 		t.Fatalf("/healthz: %d %v", code, health)
+	}
+}
+
+// TestQueryEndpoint exercises the unified /query route over a
+// two-index planner: eps routes to the approximate index, no eps (or
+// eps=0) to the exact one, and exact answers match the reference.
+func TestQueryEndpoint(t *testing.T) {
+	_, db, ts := testServer(t, temporalrank.MethodExact3, temporalrank.MethodAppx2)
+	t1, t2 := db.Start(), db.End()
+
+	var exactResp queryResponse
+	if code := getJSON(t, fmt.Sprintf("%s/query?k=5&t1=%g&t2=%g", ts.URL, t1, t2), &exactResp); code != http.StatusOK {
+		t.Fatalf("/query status %d", code)
+	}
+	if !exactResp.Exact || temporalrank.Method(exactResp.Method).IsApprox() {
+		t.Fatalf("exact query answered by %q (exact=%v)", exactResp.Method, exactResp.Exact)
+	}
+	want := db.TopK(5, t1, t2)
+	for j := range want {
+		if exactResp.Results[j].ID != want[j].ID {
+			t.Fatalf("rank %d: got object %d, want %d", j, exactResp.Results[j].ID, want[j].ID)
+		}
+	}
+
+	var apxResp queryResponse
+	if code := getJSON(t, fmt.Sprintf("%s/query?k=5&t1=%g&t2=%g&eps=0.9", ts.URL, t1, t2), &apxResp); code != http.StatusOK {
+		t.Fatalf("/query eps status %d", code)
+	}
+	if !temporalrank.Method(apxResp.Method).IsApprox() {
+		t.Fatalf("tolerant query answered by exact %q, want approximate", apxResp.Method)
+	}
+	if apxResp.Exact || apxResp.Epsilon <= 0 {
+		t.Fatalf("approximate answer misreported: %+v", apxResp)
+	}
+
+	// avg through /query: same ranking, rescaled scores.
+	var avgResp queryResponse
+	if code := getJSON(t, fmt.Sprintf("%s/query?agg=avg&k=5&t1=%g&t2=%g", ts.URL, t1, t2), &avgResp); code != http.StatusOK {
+		t.Fatalf("/query agg=avg status %d", code)
+	}
+	if avgResp.Agg != "avg" || len(avgResp.Results) != 5 {
+		t.Fatalf("bad avg response: %+v", avgResp)
+	}
+
+	// instant through /query.
+	var instResp queryResponse
+	mid := (t1 + t2) / 2
+	if code := getJSON(t, fmt.Sprintf("%s/query?agg=instant&k=5&t=%g", ts.URL, mid), &instResp); code != http.StatusOK {
+		t.Fatalf("/query agg=instant status %d", code)
+	}
+	if !instResp.Exact {
+		t.Fatalf("instant answers are always exact: %+v", instResp)
+	}
+
+	// Unknown aggregate → 400.
+	resp, err := http.Get(fmt.Sprintf("%s/query?agg=median&k=5&t1=%g&t2=%g", ts.URL, t1, t2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("agg=median: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestScoreEndpoint covers /score on exact and approximate primaries,
+// including the typed not-materialized and unknown-series failures.
+func TestScoreEndpoint(t *testing.T) {
+	_, db, ts := testServer(t, temporalrank.MethodExact2)
+	t1, t2 := db.Start(), db.End()
+
+	var sc scoreResponse
+	if code := getJSON(t, fmt.Sprintf("%s/score?id=3&t1=%g&t2=%g", ts.URL, t1, t2), &sc); code != http.StatusOK {
+		t.Fatalf("/score status %d", code)
+	}
+	wantScore, err := db.Score(3, t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Exact || sc.Score != wantScore {
+		t.Fatalf("/score got %+v, want exact %g", sc, wantScore)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("%s/score?id=99999&t1=%g&t2=%g", ts.URL, t1, t2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown series: status %d, want 404", resp.StatusCode)
+	}
+
+	// Approximate primary: an object outside the materialized lists is
+	// a 404, not a silent zero. KMax=5 over 50 objects guarantees most
+	// ids are unmaterialized; scan until one answers 404.
+	_, db2, ts2 := testServerKMax(t, temporalrank.MethodAppx2, 5)
+	saw404 := false
+	for id := 0; id < db2.NumSeries(); id++ {
+		resp, err := http.Get(fmt.Sprintf("%s/score?id=%d&t1=%g&t2=%g", ts2.URL, id, db2.Start(), db2.End()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusNotFound:
+			saw404 = true
+		default:
+			t.Fatalf("id %d: status %d", id, resp.StatusCode)
+		}
+		if saw404 {
+			break
+		}
+	}
+	if !saw404 {
+		t.Fatal("no unmaterialized object answered 404")
+	}
+}
+
+func testServerKMax(t *testing.T, method temporalrank.Method, kmax int) (*server, *temporalrank.DB, *httptest.Server) {
+	t.Helper()
+	ds, err := gen.RandomWalk(gen.RandomWalkConfig{M: 50, Navg: 40, Seed: 5, Span: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := temporalrank.NewDBFromDataset(ds)
+	ix, err := db.BuildIndex(temporalrank.Options{Method: method, TargetR: 80, KMax: kmax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(db, []*temporalrank.Index{ix}, 4, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, db, ts
+}
+
+// TestAppendMultiIndexRejected: appends through a multi-index planner
+// would silently stale the sibling indexes, so the server refuses.
+func TestAppendMultiIndexRejected(t *testing.T) {
+	_, db, ts := testServer(t, temporalrank.MethodExact3, temporalrank.MethodAppx2)
+	body, _ := json.Marshal(appendRequest{ID: 0, T: db.End() + 1, V: 1})
+	resp, err := http.Post(ts.URL+"/append", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("multi-index append: status %d, want 409", resp.StatusCode)
 	}
 }
 

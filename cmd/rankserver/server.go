@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -11,33 +13,52 @@ import (
 	"temporalrank/internal/engine"
 )
 
-// server is the HTTP front end over one index and its query engine.
-// It implements http.Handler, so tests mount it on httptest servers.
+// server is the HTTP front end over a Planner routing across one or
+// more indexes, executed through the concurrent query engine. It
+// implements http.Handler, so tests mount it on httptest servers.
+//
+// /query is the primary endpoint: the caller states aggregate, k,
+// interval and error tolerance, and the planner picks the cheapest
+// index that satisfies them. The older per-aggregate routes (/topk,
+// /avg, /instant) delegate to the same code path with a fixed
+// aggregate.
 type server struct {
-	db    *temporalrank.DB
-	ix    *temporalrank.Index
-	exec  *engine.Executor
-	mux   *http.ServeMux
-	start time.Time
+	db      *temporalrank.DB
+	planner *temporalrank.Planner
+	// indexes caches the planner's index set, fixed at construction, so
+	// hot paths skip the planner's locked snapshot copy.
+	indexes []*temporalrank.Index
+	exec    *engine.Executor
+	mux     *http.ServeMux
+	timeout time.Duration
+	start   time.Time
 }
 
-func newServer(db *temporalrank.DB, ix *temporalrank.Index, workers int) *server {
-	s := &server{
-		db:    db,
-		ix:    ix,
-		exec:  engine.New(ix, workers),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+func newServer(db *temporalrank.DB, indexes []*temporalrank.Index, workers int, timeout time.Duration) (*server, error) {
+	planner, err := temporalrank.NewPlanner(db, indexes...)
+	if err != nil {
+		return nil, err
 	}
-	s.mux.HandleFunc("GET /topk", s.handleQuery(engine.OpTopK))
-	s.mux.HandleFunc("GET /avg", s.handleQuery(engine.OpAvg))
-	s.mux.HandleFunc("GET /instant", s.handleQuery(engine.OpInstant))
+	s := &server{
+		db:      db,
+		planner: planner,
+		indexes: planner.Indexes(),
+		exec:    engine.NewQuerier(planner, workers),
+		mux:     http.NewServeMux(),
+		timeout: timeout,
+		start:   time.Now(),
+	}
+	s.mux.HandleFunc("GET /query", s.handleQuery(""))
+	s.mux.HandleFunc("GET /topk", s.handleQuery(temporalrank.AggSum))
+	s.mux.HandleFunc("GET /avg", s.handleQuery(temporalrank.AggAvg))
+	s.mux.HandleFunc("GET /instant", s.handleQuery(temporalrank.AggInstant))
+	s.mux.HandleFunc("GET /score", s.handleScore)
 	s.mux.HandleFunc("POST /append", s.handleAppend)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return s
+	return s, nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -45,17 +66,38 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Close stops the worker pool (after the HTTP server has drained).
 func (s *server) Close() { s.exec.Close() }
 
+// primaryIndex is the index appends and /score go through; nil when
+// the server runs index-less (pure brute force).
+func (s *server) primaryIndex() *temporalrank.Index {
+	if len(s.indexes) > 0 {
+		return s.indexes[0]
+	}
+	return nil
+}
+
+// queryCtx derives the per-request context, applying the server's
+// timeout so slow scans cannot pin workers forever.
+func (s *server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
 // resultJSON is one ranked object on the wire.
 type resultJSON struct {
 	ID    int     `json:"id"`
 	Score float64 `json:"score"`
 }
 
-// queryResponse is the body of /topk, /avg, and /instant. T2 is a
-// pointer so instant queries omit it while an interval query's t2=0
+// queryResponse is the body of /query and the delegating routes. T2 is
+// a pointer so instant queries omit it while an interval query's t2=0
 // is still echoed.
 type queryResponse struct {
+	Agg       string       `json:"agg"`
 	Method    string       `json:"method"`
+	Exact     bool         `json:"exact"`
+	Epsilon   float64      `json:"epsilon,omitempty"`
 	K         int          `json:"k"`
 	T1        float64      `json:"t1"`
 	T2        *float64     `json:"t2,omitempty"`
@@ -64,63 +106,156 @@ type queryResponse struct {
 	IOs       uint64       `json:"ios"`
 }
 
-func (s *server) handleQuery(op engine.Op) http.HandlerFunc {
+// parseQuery assembles a temporalrank.Query from URL parameters. A
+// fixed agg pins the aggregate (the deprecated routes, which also
+// inherit the primary index's ε as their tolerance — preserving the
+// pre-planner behavior where those routes answered through the
+// server's own index, whatever its guarantee); otherwise the agg
+// parameter chooses, defaulting to sum.
+func (s *server) parseQuery(r *http.Request, fixed temporalrank.Agg) (temporalrank.Query, error) {
+	q := temporalrank.Query{Agg: fixed}
+	if q.Agg == "" {
+		q.Agg = temporalrank.Agg(r.URL.Query().Get("agg"))
+		if q.Agg == "" {
+			q.Agg = temporalrank.AggSum
+		}
+	} else if ix := s.primaryIndex(); ix != nil {
+		q.MaxEpsilon = ix.Epsilon()
+	}
+	switch q.Agg {
+	case temporalrank.AggSum, temporalrank.AggAvg, temporalrank.AggInstant:
+	default:
+		return q, fmt.Errorf("unknown agg %q (want sum, avg or instant)", q.Agg)
+	}
+	var err error
+	if q.K, err = intParam(r, "k", 10); err != nil {
+		return q, err
+	}
+	if q.K < 1 {
+		return q, fmt.Errorf("k must be >= 1, got %d", q.K)
+	}
+	// Clamp to the number of objects: a larger k cannot yield more
+	// results, and an unbounded k would size the top-k heap from
+	// attacker input.
+	if m := s.db.NumSeries(); q.K > m {
+		q.K = m
+	}
+	if q.Agg == temporalrank.AggInstant {
+		// Accept t (documented) or t1 (the Query field carrying it).
+		if r.URL.Query().Get("t") != "" {
+			q.T1, err = floatParam(r, "t")
+		} else {
+			q.T1, err = floatParam(r, "t1")
+		}
+		if err != nil {
+			return q, err
+		}
+	} else {
+		if q.T1, err = floatParam(r, "t1"); err != nil {
+			return q, err
+		}
+		if q.T2, err = floatParam(r, "t2"); err != nil {
+			return q, err
+		}
+	}
+	if raw := r.URL.Query().Get("eps"); raw != "" {
+		if q.MaxEpsilon, err = strconv.ParseFloat(raw, 64); err != nil {
+			return q, fmt.Errorf("bad eps=%q: %w", raw, err)
+		}
+	}
+	if raw := r.URL.Query().Get("budget"); raw != "" {
+		if q.MaxIOs, err = strconv.ParseUint(raw, 10, 64); err != nil {
+			return q, fmt.Errorf("bad budget=%q: %w", raw, err)
+		}
+	}
+	return q, nil
+}
+
+func (s *server) handleQuery(fixed temporalrank.Agg) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		k, err := intParam(r, "k", 10)
+		q, err := s.parseQuery(r, fixed)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		if k < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("k must be >= 1, got %d", k))
-			return
-		}
-		// Clamp to the number of objects: a larger k cannot yield more
-		// results, and an unbounded k would size the top-k heap from
-		// attacker input.
-		if m := s.db.NumSeries(); k > m {
-			k = m
-		}
-		req := engine.Request{Op: op, K: k}
-		if op == engine.OpInstant {
-			t, err := floatParam(r, "t")
-			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
-				return
-			}
-			req.T1 = t
-		} else {
-			if req.T1, err = floatParam(r, "t1"); err != nil {
-				writeError(w, http.StatusBadRequest, err)
-				return
-			}
-			if req.T2, err = floatParam(r, "t2"); err != nil {
-				writeError(w, http.StatusBadRequest, err)
-				return
-			}
-		}
-		resp := s.exec.Do(r.Context(), req)
-		if resp.Err != nil {
-			writeError(w, http.StatusUnprocessableEntity, resp.Err)
+		ctx, cancel := s.queryCtx(r)
+		defer cancel()
+		ans, err := s.exec.Run(ctx, q)
+		if err != nil {
+			writeError(w, statusFor(err), err)
 			return
 		}
 		out := queryResponse{
-			Method:    string(s.ix.Method()),
-			K:         k,
-			T1:        req.T1,
-			Results:   make([]resultJSON, len(resp.Results)),
-			LatencyNS: int64(resp.Latency),
-			IOs:       resp.IOs,
+			Agg:       string(q.Agg),
+			Method:    string(ans.Method),
+			Exact:     ans.Exact,
+			Epsilon:   ans.Epsilon,
+			K:         q.K,
+			T1:        q.T1,
+			Results:   make([]resultJSON, len(ans.Results)),
+			LatencyNS: int64(ans.Latency),
+			IOs:       ans.IOs,
 		}
-		if op != engine.OpInstant {
-			t2 := req.T2
+		if q.Agg != temporalrank.AggInstant {
+			t2 := q.T2
 			out.T2 = &t2
 		}
-		for i, res := range resp.Results {
+		for i, res := range ans.Results {
 			out.Results[i] = resultJSON{ID: res.ID, Score: res.Score}
 		}
 		writeJSON(w, http.StatusOK, out)
 	}
+}
+
+// scoreResponse is the body of /score.
+type scoreResponse struct {
+	ID     int     `json:"id"`
+	T1     float64 `json:"t1"`
+	T2     float64 `json:"t2"`
+	Score  float64 `json:"score"`
+	Method string  `json:"method"`
+	Exact  bool    `json:"exact"`
+}
+
+// handleScore serves one object's σ(t1,t2) through the primary index.
+// An approximate index that has no estimate for the object answers 404
+// with code "not_materialized" — never a silent 0.
+func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
+	id, err := intParam(r, "id", -1)
+	if err != nil || id < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing or bad id"))
+		return
+	}
+	t1, err := floatParam(r, "t1")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	t2, err := floatParam(r, "t2")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ix := s.primaryIndex()
+	var (
+		score  float64
+		method temporalrank.Method
+	)
+	if ix != nil {
+		score, err = ix.Score(id, t1, t2)
+		method = ix.Method()
+	} else {
+		score, err = s.db.Score(id, t1, t2)
+		method = temporalrank.MethodReference
+	}
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, scoreResponse{
+		ID: id, T1: t1, T2: t2, Score: score,
+		Method: string(method), Exact: !method.IsApprox(),
+	})
 }
 
 // appendRequest is the body of POST /append.
@@ -138,52 +273,117 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
 		return
 	}
-	if err := s.ix.Append(req.ID, req.T, req.V); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+	ixs := s.indexes
+	switch len(ixs) {
+	case 1:
+		// The single index keeps itself and the DB consistent.
+	case 0:
+		writeError(w, http.StatusConflict, fmt.Errorf("append requires an index"))
+		return
+	default:
+		// Each index tracks its own frontier; appending through one
+		// would silently stale the others.
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("append is only supported with a single index, this server has %d", len(ixs)))
+		return
+	}
+	if err := ixs[0].Append(req.ID, req.T, req.V); err != nil {
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "t": req.T, "v": req.V, "status": "appended"})
 }
 
-// statsResponse is the body of /stats.
+// indexStatsJSON is one index's entry in /stats.
+type indexStatsJSON struct {
+	Method     string  `json:"method"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	KMax       int     `json:"kmax,omitempty"`
+	IndexPages int     `json:"index_pages"`
+	IndexBytes int64   `json:"index_bytes"`
+	BlockSize  int     `json:"block_size"`
+	DeviceIOs  uint64  `json:"device_ios"`
+}
+
+// statsResponse is the body of /stats. The top-level index fields
+// mirror the primary index for pre-planner clients; the indexes array
+// covers every registered structure.
 type statsResponse struct {
-	Method        string  `json:"method"`
-	Objects       int     `json:"objects"`
-	Segments      int     `json:"segments"`
-	DomainStart   float64 `json:"domain_start"`
-	DomainEnd     float64 `json:"domain_end"`
-	IndexPages    int     `json:"index_pages"`
-	IndexBytes    int64   `json:"index_bytes"`
-	BlockSize     int     `json:"block_size"`
-	DeviceIOs     uint64  `json:"device_ios"`
-	Workers       int     `json:"workers"`
-	Queries       uint64  `json:"queries"`
-	QueryErrors   uint64  `json:"query_errors"`
-	BusyWorkers   int64   `json:"busy_workers"`
-	QueryTimeNS   int64   `json:"query_time_ns"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Method        string           `json:"method"`
+	Objects       int              `json:"objects"`
+	Segments      int              `json:"segments"`
+	DomainStart   float64          `json:"domain_start"`
+	DomainEnd     float64          `json:"domain_end"`
+	Indexes       []indexStatsJSON `json:"indexes"`
+	IndexPages    int              `json:"index_pages"`
+	IndexBytes    int64            `json:"index_bytes"`
+	BlockSize     int              `json:"block_size"`
+	DeviceIOs     uint64           `json:"device_ios"`
+	Workers       int              `json:"workers"`
+	Queries       uint64           `json:"queries"`
+	QueryErrors   uint64           `json:"query_errors"`
+	BusyWorkers   int64            `json:"busy_workers"`
+	QueryTimeNS   int64            `json:"query_time_ns"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	ist := s.ix.Stats()
 	est := s.exec.Stats()
-	writeJSON(w, http.StatusOK, statsResponse{
-		Method:        ist.MethodName,
+	out := statsResponse{
 		Objects:       s.db.NumSeries(),
 		Segments:      s.db.NumSegments(),
 		DomainStart:   s.db.Start(),
 		DomainEnd:     s.db.End(),
-		IndexPages:    ist.Pages,
-		IndexBytes:    ist.Bytes,
-		BlockSize:     ist.BlockSize,
-		DeviceIOs:     ist.DeviceIOs,
 		Workers:       s.exec.Workers(),
 		Queries:       est.Queries,
 		QueryErrors:   est.Errors,
 		BusyWorkers:   est.Busy,
 		QueryTimeNS:   int64(est.TotalTime),
 		UptimeSeconds: time.Since(s.start).Seconds(),
-	})
+	}
+	for i, ix := range s.indexes {
+		ist := ix.Stats()
+		out.Indexes = append(out.Indexes, indexStatsJSON{
+			Method:     ist.MethodName,
+			Epsilon:    ix.Epsilon(),
+			KMax:       ix.KMax(),
+			IndexPages: ist.Pages,
+			IndexBytes: ist.Bytes,
+			BlockSize:  ist.BlockSize,
+			DeviceIOs:  ist.DeviceIOs,
+		})
+		if i == 0 {
+			out.Method = ist.MethodName
+			out.IndexPages = ist.Pages
+			out.IndexBytes = ist.Bytes
+			out.BlockSize = ist.BlockSize
+			out.DeviceIOs = ist.DeviceIOs
+		}
+	}
+	if out.Method == "" {
+		out.Method = string(temporalrank.MethodReference)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// statusFor maps the package's typed errors onto HTTP statuses — the
+// payoff of sentinel errors over string matching.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, temporalrank.ErrBadInterval):
+		return http.StatusBadRequest
+	case errors.Is(err, temporalrank.ErrUnknownSeries),
+		errors.Is(err, temporalrank.ErrNotMaterialized):
+		return http.StatusNotFound
+	case errors.Is(err, temporalrank.ErrKTooLarge):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
 }
 
 func intParam(r *http.Request, name string, def int) (int, error) {

@@ -1,0 +1,34 @@
+package temporalrank
+
+import "temporalrank/internal/trerr"
+
+// The package's typed sentinel errors. Every layer — the brute-force
+// DB, the eight index implementations, the Planner, and the query
+// engine — wraps these values, so callers can classify failures with
+// errors.Is regardless of which component produced them:
+//
+//	_, err := idx.Score(id, t1, t2)
+//	switch {
+//	case errors.Is(err, temporalrank.ErrNotMaterialized):
+//	    // fall back to db.Score for an exact answer
+//	case errors.Is(err, temporalrank.ErrUnknownSeries):
+//	    // 404
+//	}
+var (
+	// ErrUnknownSeries reports an object id outside [0, NumSeries()).
+	ErrUnknownSeries = trerr.ErrUnknownSeries
+
+	// ErrKTooLarge reports a query k exceeding the KMax an approximate
+	// index was built for (exact indexes accept any k).
+	ErrKTooLarge = trerr.ErrKTooLarge
+
+	// ErrNotMaterialized reports a per-object Score request that an
+	// approximate index cannot answer: the object lies outside the
+	// materialized top-KMax lists, so no estimate exists for it. The
+	// caller can retry against an exact index or DB.Score.
+	ErrNotMaterialized = trerr.ErrNotMaterialized
+
+	// ErrBadInterval reports a non-finite, inverted, or (for AggAvg)
+	// zero-width query interval.
+	ErrBadInterval = trerr.ErrBadInterval
+)

@@ -1,6 +1,8 @@
 package temporalrank_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"temporalrank"
@@ -100,4 +102,118 @@ func ExampleNewDBFromSamples() {
 	fmt.Printf("%d objects, %d segments after segmentation\n", db.NumSeries(), db.NumSegments())
 	// Output:
 	// 2 objects, 5 segments after segmentation
+}
+
+// ExampleIndex_Run shows the unified query API: one Query value, one
+// Run call, a typed Answer reporting which method answered and with
+// what guarantee.
+func ExampleIndex_Run() {
+	db, err := temporalrank.NewDB([]temporalrank.SeriesInput{
+		{Times: []float64{0, 2, 4}, Values: []float64{6, 6, 6}},
+		{Times: []float64{0, 2, 4}, Values: []float64{9, 1, 9}},
+		{Times: []float64{0, 2, 4}, Values: []float64{1, 8, 1}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	idx, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact3})
+	if err != nil {
+		panic(err)
+	}
+	ans, err := idx.Run(context.Background(), temporalrank.Query{K: 2, T1: 1, T2: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("answered by %s (exact=%v)\n", ans.Method, ans.Exact)
+	for _, r := range ans.Results {
+		fmt.Printf("object %d: %.1f\n", r.ID, r.Score)
+	}
+	// Output:
+	// answered by EXACT3 (exact=true)
+	// object 2: 12.5
+	// object 0: 12.0
+}
+
+// ExamplePlanner routes queries by their declared error tolerance:
+// MaxEpsilon == 0 demands an exact structure, MaxEpsilon > 0 admits
+// the cheaper approximate one.
+func ExamplePlanner() {
+	series := make([]temporalrank.SeriesInput, 40)
+	for i := range series {
+		times := make([]float64, 50)
+		values := make([]float64, 50)
+		for j := range times {
+			times[j] = float64(j)
+			values[j] = float64((i*13+j*7)%29) + 1
+		}
+		series[i] = temporalrank.SeriesInput{Times: times, Values: values}
+	}
+	db, err := temporalrank.NewDB(series)
+	if err != nil {
+		panic(err)
+	}
+	exact, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact3})
+	if err != nil {
+		panic(err)
+	}
+	approx, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodAppx2, TargetR: 30, KMax: 10})
+	if err != nil {
+		panic(err)
+	}
+	planner, err := temporalrank.NewPlanner(db, exact, approx)
+	if err != nil {
+		panic(err)
+	}
+
+	strict, err := planner.Run(context.Background(), temporalrank.Query{K: 3, T1: 5, T2: 45})
+	if err != nil {
+		panic(err)
+	}
+	tolerant, err := planner.Run(context.Background(),
+		temporalrank.Query{K: 3, T1: 5, T2: 45, MaxEpsilon: 0.5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("MaxEpsilon=0   -> %s (exact=%v)\n", strict.Method, strict.Exact)
+	fmt.Printf("MaxEpsilon=0.5 -> %s (exact=%v)\n", tolerant.Method, tolerant.Exact)
+	// Output:
+	// MaxEpsilon=0   -> EXACT3 (exact=true)
+	// MaxEpsilon=0.5 -> APPX2 (exact=false)
+}
+
+// ExampleErrNotMaterialized classifies failures with errors.Is — the
+// payoff of typed sentinel errors over string matching.
+func ExampleErrNotMaterialized() {
+	series := make([]temporalrank.SeriesInput, 30)
+	for i := range series {
+		times := make([]float64, 20)
+		values := make([]float64, 20)
+		for j := range times {
+			times[j] = float64(j)
+			values[j] = float64((i*7+j*3)%17) + 1
+		}
+		series[i] = temporalrank.SeriesInput{Times: times, Values: values}
+	}
+	db, err := temporalrank.NewDB(series)
+	if err != nil {
+		panic(err)
+	}
+	// kmax=3 over 30 objects: most objects have no materialized score.
+	idx, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodAppx2, TargetR: 20, KMax: 3})
+	if err != nil {
+		panic(err)
+	}
+	for id := 0; id < db.NumSeries(); id++ {
+		if _, err := idx.Score(id, 2, 18); errors.Is(err, temporalrank.ErrNotMaterialized) {
+			exact, _ := db.Score(id, 2, 18)
+			fmt.Printf("object %d not materialized; exact fallback %.0f\n", id, exact)
+			break
+		}
+	}
+	if _, err := idx.TopK(10, 2, 18); errors.Is(err, temporalrank.ErrKTooLarge) {
+		fmt.Println("k=10 exceeds kmax=3")
+	}
+	// Output:
+	// object 0 not materialized; exact fallback 148
+	// k=10 exceeds kmax=3
 }

@@ -1,9 +1,11 @@
 // Quickstart: build a tiny temporal database by hand, index it with
 // the paper's best exact method (EXACT3), and run an aggregate top-k
-// query — the minimal end-to-end use of the public API.
+// query through the unified Query API — the minimal end-to-end use of
+// the public surface.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,20 +30,31 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// One Query value per request: the caller states aggregate, k and
+	// interval; the Answer names the method that answered and whether
+	// it is exact, and carries the measured latency and IO count.
+	ctx := context.Background()
 	for _, iv := range [][2]float64{{0, 4}, {1.5, 2.5}, {0.5, 1.5}} {
-		results, err := idx.TopK(2, iv[0], iv[1])
+		ans, err := idx.Run(ctx, temporalrank.SumQuery(2, iv[0], iv[1]))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("top-2(%g, %g, sum):\n", iv[0], iv[1])
-		for rank, r := range results {
+		fmt.Printf("top-2(%g, %g, sum) via %s (%d IOs):\n", iv[0], iv[1], ans.Method, ans.IOs)
+		for rank, r := range ans.Results {
 			fmt.Printf("  %d. object %d with aggregate score %.2f\n", rank+1, r.ID, r.Score)
 		}
 	}
 
-	// Instant top-k is the degenerate case t1 == t2 (scores are all 0
-	// under sum; the paper treats instants via its earlier work) —
-	// aggregate ranking needs a real interval:
-	best, _ := idx.TopK(1, 0, 4)
-	fmt.Printf("overall winner across [0,4]: object %d\n", best[0].ID)
+	// The instant query top-k(t) rides the same API.
+	inst, err := idx.Run(ctx, temporalrank.InstantQuery(1, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instant leader at t=2: object %d\n", inst.Results[0].ID)
+
+	best, err := idx.Run(ctx, temporalrank.SumQuery(1, 0, 4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overall winner across [0,4]: object %d\n", best.Results[0].ID)
 }

@@ -83,18 +83,22 @@ func NewDBFromSamples(objects [][]Sample, method SegmentationMethod, errBudget f
 // Since the divisor is shared, the ranking equals the sum ranking (§4:
 // sum "automatically implies support for the avg aggregation"); only
 // the reported scores are rescaled.
+//
+// Deprecated: use Run with a Query{Agg: AggAvg}. TopKAvg remains as a
+// thin wrapper.
 func (ix *Index) TopKAvg(k int, t1, t2 float64) ([]Result, error) {
+	return ix.topKAvg(k, t1, t2)
+}
+
+func (ix *Index) topKAvg(k int, t1, t2 float64) ([]Result, error) {
 	if t2 <= t1 {
-		return nil, fmt.Errorf("temporalrank: avg needs t2 > t1, got [%g,%g]", t1, t2)
+		return nil, fmt.Errorf("temporalrank: %w: avg needs t2 > t1, got [%g,%g]", ErrBadInterval, t1, t2)
 	}
-	res, err := ix.TopK(k, t1, t2)
+	res, err := ix.topK(k, t1, t2)
 	if err != nil {
 		return nil, err
 	}
-	width := t2 - t1
-	for i := range res {
-		res[i].Score /= width
-	}
+	rescaleAvg(res, t1, t2)
 	return res, nil
 }
 
@@ -102,7 +106,14 @@ func (ix *Index) TopKAvg(k int, t1, t2 float64) ([]Result, error) {
 // the largest g_i(t). Supported natively by EXACT3 (one stabbing
 // query); other methods fall back to the in-memory data, since the
 // paper treats instants as its predecessor's problem.
+//
+// Deprecated: use Run with a Query{Agg: AggInstant}. InstantTopK
+// remains as a thin wrapper.
 func (ix *Index) InstantTopK(k int, t float64) ([]Result, error) {
+	return ix.instantTopK(k, t)
+}
+
+func (ix *Index) instantTopK(k int, t float64) ([]Result, error) {
 	ix.mu.RLock()
 	if e3, ok := ix.m.(*exact.Exact3); ok {
 		defer ix.mu.RUnlock()
@@ -117,6 +128,9 @@ func (ix *Index) InstantTopK(k int, t float64) ([]Result, error) {
 }
 
 // InstantTopK computes the instant query against the in-memory data.
+//
+// Deprecated: use Run with a Query{Agg: AggInstant}. InstantTopK
+// remains as a thin wrapper.
 func (db *DB) InstantTopK(k int, t float64) []Result {
 	db.mu.RLock()
 	defer db.mu.RUnlock()

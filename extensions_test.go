@@ -66,6 +66,62 @@ func TestNewDBFromSamplesSegmented(t *testing.T) {
 	}
 }
 
+// TestNewDBFromSamplesBoundAllMethods sweeps all three segmentation
+// methods over many random query intervals, asserting the L∞ budget
+// bound on aggregates against SegmentConnect ground truth: a PLA with
+// L∞ error δ perturbs any σ_i(t1,t2) by at most δ·(t2−t1). For
+// SegmentConnect itself the drift must be exactly zero.
+func TestNewDBFromSamplesBoundAllMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	objects := sampleObjects(rng, 8, 300)
+	full, err := NewDBFromSamples(objects, SegmentConnect, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 3.0
+	for _, method := range []SegmentationMethod{SegmentConnect, SegmentSlidingWindow, SegmentBottomUp} {
+		db, err := NewDBFromSamples(objects, method, budget)
+		if err != nil {
+			t.Fatalf("method %d: %v", method, err)
+		}
+		if db.NumSeries() != full.NumSeries() {
+			t.Fatalf("method %d: m=%d, want %d", method, db.NumSeries(), full.NumSeries())
+		}
+		maxDrift := budget
+		if method == SegmentConnect {
+			maxDrift = 0
+		}
+		span := full.End() - full.Start()
+		for trial := 0; trial < 30; trial++ {
+			t1 := full.Start() + rng.Float64()*span*0.9
+			t2 := t1 + rng.Float64()*(full.End()-t1)
+			bound := maxDrift*(t2-t1) + 1e-9
+			for id := 0; id < db.NumSeries(); id++ {
+				want, err := full.Score(id, t1, t2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := db.Score(id, t1, t2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := math.Abs(want - got); d > bound {
+					t.Fatalf("method %d object %d [%g,%g]: drift %g > δ·(t2−t1) = %g",
+						method, id, t1, t2, d, bound)
+				}
+			}
+		}
+		// The drift bound also caps how far top-k scores can move: the
+		// top-1 aggregate under segmentation stays within the bound of
+		// the true top-1 aggregate.
+		refTop := full.TopK(1, full.Start(), full.End())
+		segTop := db.TopK(1, full.Start(), full.End())
+		if d := math.Abs(refTop[0].Score - segTop[0].Score); d > maxDrift*span+1e-9 {
+			t.Fatalf("method %d: top-1 score drift %g > %g", method, d, maxDrift*span)
+		}
+	}
+}
+
 func TestNewDBFromSamplesErrors(t *testing.T) {
 	if _, err := NewDBFromSamples(nil, SegmentConnect, 0); err == nil {
 		t.Error("empty input accepted")

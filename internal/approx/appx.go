@@ -7,6 +7,7 @@ import (
 	"temporalrank/internal/breakpoint"
 	"temporalrank/internal/exact"
 	"temporalrank/internal/topk"
+	"temporalrank/internal/trerr"
 	"temporalrank/internal/tsdata"
 )
 
@@ -79,7 +80,7 @@ func (a *appxBase) Breaks() *breakpoint.Set { return a.bps }
 // since M grows by at most 2× between rebuilds.
 func (a *appxBase) Append(id tsdata.SeriesID, t, v float64) error {
 	if id < 0 || int(id) >= a.ds.NumSeries() {
-		return fmt.Errorf("%s: unknown series %d", a.name, id)
+		return fmt.Errorf("%s: %w: %d", a.name, trerr.ErrUnknownSeries, id)
 	}
 	fr := a.frontier[id]
 	seg := tsdata.Segment{T1: fr.t, T2: t, V1: fr.v, V2: v}
@@ -164,10 +165,15 @@ func (a *Appx1) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
 	return a.q.TopK(k, t1, t2)
 }
 
-// Score implements exact.Method: the (ε,1) estimate if the object is in
-// the snapped interval's top-kmax, else 0 (no estimate is stored for
-// objects outside the materialized lists).
+// Score implements exact.Method: the (ε,1) estimate if the object is
+// in the snapped interval's top-kmax, else trerr.ErrNotMaterialized —
+// the structure stores no estimate for objects outside the
+// materialized lists, and a silent 0.0 would be indistinguishable from
+// a true zero aggregate.
 func (a *Appx1) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
+	if id < 0 || int(id) >= a.ds.NumSeries() {
+		return 0, fmt.Errorf("%s: %w: %d", a.name, trerr.ErrUnknownSeries, id)
+	}
 	items, err := a.q.TopK(a.kmax, t1, t2)
 	if err != nil {
 		return 0, err
@@ -177,7 +183,7 @@ func (a *Appx1) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
 			return it.Score, nil
 		}
 	}
-	return 0, nil
+	return 0, fmt.Errorf("%s: %w: series %d outside the top-%d lists", a.name, trerr.ErrNotMaterialized, id, a.kmax)
 }
 
 // --- APPX2 / APPX2-B ---------------------------------------------------
@@ -229,13 +235,22 @@ func (a *Appx2) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
 	return a.q.TopK(k, t1, t2)
 }
 
-// Score implements exact.Method (same convention as Appx1.Score).
+// Score implements exact.Method (same convention as Appx1.Score:
+// trerr.ErrNotMaterialized when the object is outside the candidate
+// set, rather than a silent 0.0).
 func (a *Appx2) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
+	if id < 0 || int(id) >= a.ds.NumSeries() {
+		return 0, fmt.Errorf("%s: %w: %d", a.name, trerr.ErrUnknownSeries, id)
+	}
 	cands, err := a.q.Candidates(a.kmax, t1, t2)
 	if err != nil {
 		return 0, err
 	}
-	return cands[id], nil
+	s, ok := cands[id]
+	if !ok {
+		return 0, fmt.Errorf("%s: %w: series %d outside the candidate set", a.name, trerr.ErrNotMaterialized, id)
+	}
+	return s, nil
 }
 
 // Query2Index exposes the underlying dyadic structure (for the
@@ -335,7 +350,7 @@ func (a *Appx2Plus) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
 func (a *Appx2Plus) Append(id tsdata.SeriesID, t, v float64) error {
 	// Capture the frontier before the base consumes it.
 	if id < 0 || int(id) >= a.ds.NumSeries() {
-		return fmt.Errorf("%s: unknown series %d", a.name, id)
+		return fmt.Errorf("%s: %w: %d", a.name, trerr.ErrUnknownSeries, id)
 	}
 	rebuildsBefore := a.rebuildCount
 	if err := a.appxBase.Append(id, t, v); err != nil {

@@ -24,6 +24,7 @@ import (
 
 	"temporalrank/internal/blockio"
 	"temporalrank/internal/topk"
+	"temporalrank/internal/trerr"
 	"temporalrank/internal/tsdata"
 )
 
@@ -200,10 +201,10 @@ func prefixAtBreakpoints(ds *tsdata.Dataset, times []float64) [][]float64 {
 
 func validateQuery(t1, t2 float64) error {
 	if math.IsNaN(t1) || math.IsNaN(t2) || math.IsInf(t1, 0) || math.IsInf(t2, 0) {
-		return fmt.Errorf("approx: non-finite query interval [%g,%g]", t1, t2)
+		return fmt.Errorf("approx: %w: non-finite [%g,%g]", trerr.ErrBadInterval, t1, t2)
 	}
 	if t2 < t1 {
-		return fmt.Errorf("approx: inverted query interval [%g,%g]", t1, t2)
+		return fmt.Errorf("approx: %w: inverted [%g,%g]", trerr.ErrBadInterval, t1, t2)
 	}
 	return nil
 }

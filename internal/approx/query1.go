@@ -8,6 +8,7 @@ import (
 	"temporalrank/internal/bptree"
 	"temporalrank/internal/breakpoint"
 	"temporalrank/internal/topk"
+	"temporalrank/internal/trerr"
 	"temporalrank/internal/tsdata"
 )
 
@@ -100,7 +101,7 @@ func (q *Query1) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
 		return nil, err
 	}
 	if k > q.kmax {
-		return nil, fmt.Errorf("approx: k=%d exceeds kmax=%d", k, q.kmax)
+		return nil, fmt.Errorf("approx: %w: k=%d kmax=%d", trerr.ErrKTooLarge, k, q.kmax)
 	}
 	// Snap through the top-level tree: first breakpoint >= t1 (clamped
 	// to the last breakpoint when t1 exceeds the domain).

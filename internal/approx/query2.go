@@ -6,6 +6,7 @@ import (
 	"temporalrank/internal/blockio"
 	"temporalrank/internal/breakpoint"
 	"temporalrank/internal/topk"
+	"temporalrank/internal/trerr"
 	"temporalrank/internal/tsdata"
 )
 
@@ -149,7 +150,7 @@ func (q *Query2) Candidates(k int, t1, t2 float64) (map[tsdata.SeriesID]float64,
 		return nil, err
 	}
 	if k > q.kmax {
-		return nil, fmt.Errorf("approx: k=%d exceeds kmax=%d", k, q.kmax)
+		return nil, fmt.Errorf("approx: %w: k=%d kmax=%d", trerr.ErrKTooLarge, k, q.kmax)
 	}
 	_, a := q.bps.Snap(t1)
 	_, b := q.bps.Snap(t2)

@@ -1,10 +1,15 @@
-// Package engine is the concurrent query layer over a built index: a
-// worker pool that executes batches of aggregate top-k queries in
-// parallel and reports per-query latency and IO, plus helpers that
-// parallelize index construction. It is the serving-side counterpart
-// of the paper's single-query cost model — the structures answer one
-// query in O(...) IOs, and the engine keeps many such queries in
-// flight against the same (read-safe) index.
+// Package engine is the concurrent query layer over the public
+// Querier interface: a worker pool that executes batches of
+// temporalrank.Query values in parallel and reports per-query latency
+// and IO, plus helpers that parallelize index construction. It is the
+// serving-side counterpart of the paper's single-query cost model —
+// the structures answer one query in O(...) IOs, and the engine keeps
+// many such queries in flight against the same (read-safe) backend.
+//
+// The backend can be anything implementing temporalrank.Querier: a
+// single Index, the brute-force DB, or a Planner routing across
+// several indexes. Executor itself implements Querier, so pools
+// compose with everything else that runs queries.
 //
 // cmd/rankserver mounts an Executor behind an HTTP API; tests drive it
 // directly.
@@ -22,9 +27,12 @@ import (
 )
 
 // Op names a query operation.
+//
+// Deprecated: build a temporalrank.Query instead; the Op enum is kept
+// only so pre-Query callers keep compiling.
 type Op string
 
-// The operations the executor understands, mirroring the Index API.
+// The legacy operations, mirroring the old Index API.
 const (
 	// OpTopK is top-k(t1,t2,sum) through the index.
 	OpTopK Op = "topk"
@@ -34,7 +42,9 @@ const (
 	OpInstant Op = "instant"
 )
 
-// Request is one query to execute.
+// Request is one query in the legacy enum encoding.
+//
+// Deprecated: use temporalrank.Query with Run/RunBatch.
 type Request struct {
 	Op Op
 	K  int
@@ -42,11 +52,31 @@ type Request struct {
 	T2 float64 // query end; unused by OpInstant
 }
 
-// Response is one executed query.
+// query converts the legacy encoding to a Query. Unknown ops map to an
+// invalid aggregate so execution fails with a descriptive error, as
+// before.
+func (r Request) query() temporalrank.Query {
+	q := temporalrank.Query{K: r.K, T1: r.T1, T2: r.T2}
+	switch r.Op {
+	case OpTopK:
+		q.Agg = temporalrank.AggSum
+	case OpAvg:
+		q.Agg = temporalrank.AggAvg
+	case OpInstant:
+		q.Agg = temporalrank.AggInstant
+	default:
+		q.Agg = temporalrank.Agg(r.Op)
+	}
+	return q
+}
+
+// Response is one executed legacy request.
+//
+// Deprecated: use temporalrank.Answer via Run/RunBatch.
 type Response struct {
 	Results []temporalrank.Result
-	// Latency is the wall time of the index call alone (queueing in the
-	// worker pool excluded).
+	// Latency is the wall time of the backend call alone (queueing in
+	// the worker pool excluded).
 	Latency time.Duration
 	// IOs is the device IO delta observed over the call. The device is
 	// shared by all in-flight queries, so under concurrency this
@@ -54,6 +84,12 @@ type Response struct {
 	// when the executor has one worker or one in-flight query.
 	IOs uint64
 	Err error
+}
+
+// Result pairs an Answer with its error — one element of a RunBatch.
+type Result struct {
+	Answer temporalrank.Answer
+	Err    error
 }
 
 // Stats aggregates an executor's lifetime activity.
@@ -65,14 +101,16 @@ type Stats struct {
 }
 
 type job struct {
-	req  Request
-	done func(Response)
+	ctx  context.Context
+	q    temporalrank.Query
+	done func(Result)
 }
 
 // Executor is a fixed-size worker pool executing queries against one
-// index. Create with New, release with Close.
+// Querier backend. Create with New or NewQuerier, release with Close.
 type Executor struct {
-	ix      *temporalrank.Index
+	backend temporalrank.Querier
+	ix      *temporalrank.Index // non-nil only when built by New
 	workers int
 	jobs    chan job
 	wg      sync.WaitGroup
@@ -86,63 +124,71 @@ type Executor struct {
 	nanos   atomic.Int64
 }
 
-// New starts an executor with the given number of workers (defaults to
-// GOMAXPROCS when workers <= 0).
-func New(ix *temporalrank.Index, workers int) *Executor {
+// Executor is itself a Querier: Run goes through the pool.
+var _ temporalrank.Querier = (*Executor)(nil)
+
+// NewQuerier starts an executor over any Querier backend — an Index, a
+// Planner, or the brute-force DB — with the given number of workers
+// (defaults to GOMAXPROCS when workers <= 0).
+func NewQuerier(backend temporalrank.Querier, workers int) *Executor {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Executor{ix: ix, workers: workers, jobs: make(chan job)}
+	e := &Executor{backend: backend, workers: workers, jobs: make(chan job)}
 	for i := 0; i < workers; i++ {
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
 			for j := range e.jobs {
-				j.done(e.run(j.req))
+				j.done(e.run(j))
 			}
 		}()
 	}
 	return e
 }
 
+// New starts an executor over a single index.
+func New(ix *temporalrank.Index, workers int) *Executor {
+	e := NewQuerier(ix, workers)
+	e.ix = ix
+	return e
+}
+
 // Workers returns the pool size.
 func (e *Executor) Workers() int { return e.workers }
 
-// Index returns the index the executor serves.
+// Backend returns the Querier the executor serves.
+func (e *Executor) Backend() temporalrank.Querier { return e.backend }
+
+// Index returns the index the executor serves, or nil when the backend
+// is not a single index (see Backend).
 func (e *Executor) Index() *temporalrank.Index { return e.ix }
 
-// run executes one request on the calling worker.
-func (e *Executor) run(req Request) Response {
+// run executes one job on the calling worker. A job whose context is
+// already done is dropped without touching the backend, so a cancelled
+// batch terminates promptly even when its jobs were already queued.
+func (e *Executor) run(j job) Result {
+	if err := j.ctx.Err(); err != nil {
+		e.queries.Add(1)
+		e.errors.Add(1)
+		return Result{Err: err}
+	}
 	e.busy.Add(1)
 	defer e.busy.Add(-1)
-	before := e.ix.DeviceIOs()
 	start := time.Now()
-	var (
-		res []temporalrank.Result
-		err error
-	)
-	switch req.Op {
-	case OpTopK:
-		res, err = e.ix.TopK(req.K, req.T1, req.T2)
-	case OpAvg:
-		res, err = e.ix.TopKAvg(req.K, req.T1, req.T2)
-	case OpInstant:
-		res, err = e.ix.InstantTopK(req.K, req.T1)
-	default:
-		err = fmt.Errorf("engine: unknown op %q", req.Op)
-	}
+	ans, err := e.backend.Run(j.ctx, j.q)
 	elapsed := time.Since(start)
-	after := e.ix.DeviceIOs()
-	var ios uint64
-	if after > before { // guard against a concurrent ResetStats
-		ios = after - before
-	}
 	e.queries.Add(1)
 	if err != nil {
 		e.errors.Add(1)
+		// A failed Run returns a zero Answer; report the measured wall
+		// time anyway so error-latency telemetry keeps working.
+		if ans.Latency == 0 {
+			ans.Latency = elapsed
+		}
 	}
 	e.nanos.Add(int64(elapsed))
-	return Response{Results: res, Latency: elapsed, IOs: ios, Err: err}
+	return Result{Answer: ans, Err: err}
 }
 
 // submit hands a job to the pool, or fails fast when the executor is
@@ -161,42 +207,74 @@ func (e *Executor) submit(ctx context.Context, j job) error {
 	}
 }
 
-// Do executes one request through the pool and waits for its response.
-func (e *Executor) Do(ctx context.Context, req Request) Response {
-	out := make(chan Response, 1)
-	if err := e.submit(ctx, job{req: req, done: func(r Response) { out <- r }}); err != nil {
-		return Response{Err: err}
+// Run implements temporalrank.Querier: one query through the pool,
+// waiting for its answer. Cancellation covers the whole span — queue
+// wait, execution start, and the wait for the response.
+func (e *Executor) Run(ctx context.Context, q temporalrank.Query) (temporalrank.Answer, error) {
+	out := make(chan Result, 1)
+	err := e.submit(ctx, job{ctx: ctx, q: q, done: func(r Result) { out <- r }})
+	if err != nil {
+		return temporalrank.Answer{}, err
 	}
 	select {
 	case r := <-out:
-		return r
+		return r.Answer, r.Err
 	case <-ctx.Done():
 		// The job may still run; its response is dropped.
-		return Response{Err: ctx.Err()}
+		return temporalrank.Answer{}, ctx.Err()
 	}
 }
 
-// Exec executes a batch, returning responses in request order. All
-// requests run through the worker pool, so up to Workers() of them
+// RunBatch executes a batch, returning results in query order. All
+// queries run through the worker pool, so up to Workers() of them
 // proceed in parallel. A cancelled context fails the not-yet-submitted
-// remainder with ctx.Err() but waits for already-running queries.
-func (e *Executor) Exec(ctx context.Context, reqs []Request) []Response {
-	out := make([]Response, len(reqs))
+// remainder with ctx.Err(), drops queued-but-unstarted jobs, and waits
+// only for the at-most-Workers() queries already executing.
+func (e *Executor) RunBatch(ctx context.Context, qs []temporalrank.Query) []Result {
+	out := make([]Result, len(qs))
 	var wg sync.WaitGroup
-	for i := range reqs {
+	for i := range qs {
 		wg.Add(1)
 		idx := i
-		err := e.submit(ctx, job{req: reqs[i], done: func(r Response) {
+		err := e.submit(ctx, job{ctx: ctx, q: qs[i], done: func(r Result) {
 			out[idx] = r
 			wg.Done()
 		}})
 		if err != nil {
-			out[idx] = Response{Err: err}
+			out[idx] = Result{Err: err}
 			wg.Done()
 		}
 	}
 	wg.Wait()
 	return out
+}
+
+// Do executes one legacy request through the pool.
+//
+// Deprecated: use Run with a temporalrank.Query.
+func (e *Executor) Do(ctx context.Context, req Request) Response {
+	ans, err := e.Run(ctx, req.query())
+	return toResponse(ans, err)
+}
+
+// Exec executes a legacy batch, returning responses in request order.
+//
+// Deprecated: use RunBatch with temporalrank.Query values.
+func (e *Executor) Exec(ctx context.Context, reqs []Request) []Response {
+	qs := make([]temporalrank.Query, len(reqs))
+	for i, r := range reqs {
+		qs[i] = r.query()
+	}
+	results := e.RunBatch(ctx, qs)
+	out := make([]Response, len(results))
+	for i, r := range results {
+		out[i] = toResponse(r.Answer, r.Err)
+	}
+	return out
+}
+
+func toResponse(ans temporalrank.Answer, err error) Response {
+	return Response{Results: ans.Results, Latency: ans.Latency, IOs: ans.IOs, Err: err}
 }
 
 // Stats returns a snapshot of lifetime executor activity.
@@ -210,7 +288,7 @@ func (e *Executor) Stats() Stats {
 }
 
 // Close stops the workers after draining queued jobs. Safe to call
-// more than once; Do/Exec after Close fail cleanly.
+// more than once; Run/RunBatch after Close fail cleanly.
 func (e *Executor) Close() {
 	e.mu.Lock()
 	if !e.closed {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -167,5 +168,120 @@ func TestExact2ParallelBuildMatchesSequential(t *testing.T) {
 		if !sameIDs(a, b) {
 			t.Fatalf("query %d: sequential %v parallel %v", q, a, b)
 		}
+	}
+}
+
+// TestRunBatchQueries drives the unified Query path through the pool
+// and cross-checks the reference, including planner-backed executors.
+func TestRunBatchQueries(t *testing.T) {
+	db := testDB(t)
+	ix, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner, err := temporalrank.NewPlanner(db, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewQuerier(planner, 8)
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(9))
+	span := db.End() - db.Start()
+	qs := make([]temporalrank.Query, 100)
+	for i := range qs {
+		t1 := db.Start() + rng.Float64()*span*0.8
+		qs[i] = temporalrank.SumQuery(5, t1, t1+rng.Float64()*span*0.2)
+	}
+	results := e.RunBatch(context.Background(), qs)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		if !r.Answer.Exact {
+			t.Fatalf("query %d: exact index answered approximately", i)
+		}
+		if !sameIDs(r.Answer.Results, db.TopK(qs[i].K, qs[i].T1, qs[i].T2)) {
+			t.Fatalf("query %d: wrong answer", i)
+		}
+	}
+
+	// Executor is itself a Querier.
+	var q temporalrank.Querier = e
+	ans, err := q.Run(context.Background(), temporalrank.SumQuery(3, db.Start(), db.End()))
+	if err != nil || len(ans.Results) != 3 {
+		t.Fatalf("executor as Querier: %v %+v", err, ans)
+	}
+}
+
+// TestBatchCancellation is the acceptance test for context threading:
+// cancelling an in-flight batch terminates it promptly — queued jobs
+// are dropped without touching the backend, and only the at-most-
+// Workers() queries already executing finish. Run under -race.
+func TestBatchCancellation(t *testing.T) {
+	ds, err := gen.RandomWalk(gen.RandomWalkConfig{M: 400, Navg: 60, Seed: 3, Span: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := temporalrank.NewDBFromDataset(ds)
+	// The brute-force backend scans all 400 series per query, so a
+	// batch of 500 queries on 2 workers is far from done when we cancel.
+	e := NewQuerier(db, 2)
+	defer e.Close()
+
+	qs := make([]temporalrank.Query, 500)
+	for i := range qs {
+		qs[i] = temporalrank.SumQuery(10, db.Start(), db.End())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan []Result, 1)
+	go func() { done <- e.RunBatch(ctx, qs) }()
+	cancel()
+
+	results := <-done
+	var cancelled, completed int
+	for _, r := range results {
+		switch {
+		case r.Err == nil:
+			completed++
+		case errors.Is(r.Err, context.Canceled):
+			cancelled++
+		default:
+			t.Fatalf("unexpected error: %v", r.Err)
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("cancellation observed no ctx.Err() results")
+	}
+	if completed == len(qs) {
+		t.Fatal("every query completed despite cancellation")
+	}
+	t.Logf("batch of %d: %d completed, %d cancelled", len(qs), completed, cancelled)
+}
+
+// TestLegacyShimsDelegate: the deprecated Request/Response API is a
+// thin veneer over Run and yields identical answers.
+func TestLegacyShimsDelegate(t *testing.T) {
+	db := testDB(t)
+	ix, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(ix, 2)
+	defer e.Close()
+	if e.Index() != ix {
+		t.Fatal("Index() accessor lost the index")
+	}
+	ctx := context.Background()
+	legacy := e.Do(ctx, Request{Op: OpTopK, K: 4, T1: db.Start(), T2: db.End()})
+	if legacy.Err != nil {
+		t.Fatal(legacy.Err)
+	}
+	ans, err := e.Run(ctx, temporalrank.SumQuery(4, db.Start(), db.End()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(legacy.Results, ans.Results) {
+		t.Fatal("legacy Do disagrees with Run")
 	}
 }

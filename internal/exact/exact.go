@@ -21,6 +21,7 @@ import (
 
 	"temporalrank/internal/blockio"
 	"temporalrank/internal/topk"
+	"temporalrank/internal/trerr"
 	"temporalrank/internal/tsdata"
 )
 
@@ -63,10 +64,10 @@ func getSeriesID(b []byte) tsdata.SeriesID     { return tsdata.SeriesID(binary.L
 
 func validateQuery(t1, t2 float64) error {
 	if math.IsNaN(t1) || math.IsNaN(t2) || math.IsInf(t1, 0) || math.IsInf(t2, 0) {
-		return fmt.Errorf("exact: non-finite query interval [%g,%g]", t1, t2)
+		return fmt.Errorf("exact: %w: non-finite [%g,%g]", trerr.ErrBadInterval, t1, t2)
 	}
 	if t2 < t1 {
-		return fmt.Errorf("exact: inverted query interval [%g,%g]", t1, t2)
+		return fmt.Errorf("exact: %w: inverted [%g,%g]", trerr.ErrBadInterval, t1, t2)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"temporalrank/internal/bptree"
 	"temporalrank/internal/extsort"
 	"temporalrank/internal/topk"
+	"temporalrank/internal/trerr"
 	"temporalrank/internal/tsdata"
 )
 
@@ -160,7 +161,7 @@ func (e *Exact1) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
 		return 0, err
 	}
 	if int(id) >= len(sums) {
-		return 0, fmt.Errorf("exact1: unknown series %d", id)
+		return 0, fmt.Errorf("exact1: %w: %d", trerr.ErrUnknownSeries, id)
 	}
 	return sums[id], nil
 }
@@ -201,7 +202,7 @@ func (e *Exact1) runningSums(t1, t2 float64) ([]float64, error) {
 // formed by the object's current frontier and the new vertex (t, v).
 func (e *Exact1) Append(id tsdata.SeriesID, t, v float64) error {
 	if int(id) >= e.m || id < 0 {
-		return fmt.Errorf("exact1: unknown series %d", id)
+		return fmt.Errorf("exact1: %w: %d", trerr.ErrUnknownSeries, id)
 	}
 	fr := e.frontier[id]
 	seg := tsdata.Segment{T1: fr.t, T2: t, V1: fr.v, V2: v}

@@ -8,6 +8,7 @@ import (
 	"temporalrank/internal/blockio"
 	"temporalrank/internal/bptree"
 	"temporalrank/internal/topk"
+	"temporalrank/internal/trerr"
 	"temporalrank/internal/tsdata"
 )
 
@@ -154,7 +155,7 @@ func (e *Exact2) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
 // Score implements Method: Eq. (2) with two O(log_B n_i) searches.
 func (e *Exact2) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
 	if id < 0 || int(id) >= len(e.trees) {
-		return 0, fmt.Errorf("exact2: unknown series %d", id)
+		return 0, fmt.Errorf("exact2: %w: %d", trerr.ErrUnknownSeries, id)
 	}
 	if err := validateQuery(t1, t2); err != nil {
 		return 0, err
@@ -209,7 +210,7 @@ func (e *Exact2) sigmaTo(id tsdata.SeriesID, t float64) (float64, error) {
 // the last entry of T_i, extend it with the new trapezoid, insert.
 func (e *Exact2) Append(id tsdata.SeriesID, t, v float64) error {
 	if id < 0 || int(id) >= len(e.trees) {
-		return fmt.Errorf("exact2: unknown series %d", id)
+		return fmt.Errorf("exact2: %w: %d", trerr.ErrUnknownSeries, id)
 	}
 	fr := e.frontier[id]
 	seg := tsdata.Segment{T1: fr.t, T2: t, V1: fr.v, V2: v}

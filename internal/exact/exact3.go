@@ -7,6 +7,7 @@ import (
 	"temporalrank/internal/blockio"
 	"temporalrank/internal/itree"
 	"temporalrank/internal/topk"
+	"temporalrank/internal/trerr"
 	"temporalrank/internal/tsdata"
 )
 
@@ -207,7 +208,7 @@ func tailSigma(tail []tailEntry, t float64) float64 {
 // and projects one component.
 func (e *Exact3) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
 	if id < 0 || int(id) >= e.m {
-		return 0, fmt.Errorf("exact3: unknown series %d", id)
+		return 0, fmt.Errorf("exact3: %w: %d", trerr.ErrUnknownSeries, id)
 	}
 	sums, err := e.allScores(t1, t2)
 	if err != nil {
@@ -222,7 +223,7 @@ func (e *Exact3) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
 // O(log_B N) insert uses the dynamic Arge–Vitter tree instead).
 func (e *Exact3) Append(id tsdata.SeriesID, t, v float64) error {
 	if id < 0 || int(id) >= e.m {
-		return fmt.Errorf("exact3: unknown series %d", id)
+		return fmt.Errorf("exact3: %w: %d", trerr.ErrUnknownSeries, id)
 	}
 	fr := e.frontier[id]
 	seg := tsdata.Segment{T1: fr.t, T2: t, V1: fr.v, V2: v}

@@ -1,0 +1,27 @@
+// Package trerr holds the sentinel errors shared by every layer of
+// the ranking stack. It is a leaf package (no dependencies) so the
+// internal method implementations (internal/exact, internal/approx),
+// the engine, and the public API can all wrap the same values and
+// errors.Is works end-to-end. Package temporalrank re-exports these as
+// ErrUnknownSeries, ErrKTooLarge, ErrNotMaterialized and
+// ErrBadInterval; user code should match against those.
+package trerr
+
+import "errors"
+
+var (
+	// ErrUnknownSeries reports an object id outside [0, m).
+	ErrUnknownSeries = errors.New("unknown series")
+
+	// ErrKTooLarge reports a query k exceeding the kmax an approximate
+	// index was built for.
+	ErrKTooLarge = errors.New("k exceeds the index's kmax")
+
+	// ErrNotMaterialized reports a per-object score request that an
+	// approximate index cannot answer because the object is outside its
+	// materialized top-kmax lists (no estimate is stored for it).
+	ErrNotMaterialized = errors.New("score not materialized for this object")
+
+	// ErrBadInterval reports a non-finite or inverted query interval.
+	ErrBadInterval = errors.New("bad query interval")
+)

@@ -1,0 +1,204 @@
+package temporalrank
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Planner holds several indexes built over one DB and routes each
+// Query to the cheapest structure that satisfies it: exact methods
+// when the query demands exactness (MaxEpsilon == 0), approximate
+// methods whose ε fits the query's tolerance otherwise, and the
+// brute-force DB as the always-correct fallback when no index
+// qualifies. The caller states *what* it wants; the Planner chooses
+// *how*.
+//
+//	exact3, _ := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact3})
+//	appx2, _ := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodAppx2P})
+//	p, _ := temporalrank.NewPlanner(db, exact3, appx2)
+//	ans, _ := p.Run(ctx, temporalrank.Query{K: 10, T1: 50, T2: 120, MaxEpsilon: 0.05})
+//
+// Planner is safe for concurrent use; AddIndex may race with Run.
+type Planner struct {
+	db *DB
+
+	mu      sync.RWMutex
+	indexes []*Index
+}
+
+// NewPlanner assembles a planner over db and any number of indexes
+// built from it. With no indexes every query falls back to the
+// brute-force reference.
+func NewPlanner(db *DB, indexes ...*Index) (*Planner, error) {
+	if db == nil {
+		return nil, fmt.Errorf("temporalrank: planner needs a DB")
+	}
+	p := &Planner{db: db}
+	for _, ix := range indexes {
+		if err := p.AddIndex(ix); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// AddIndex registers another index. It must be built over the
+// planner's DB so all routes answer from the same data.
+func (p *Planner) AddIndex(ix *Index) error {
+	if ix == nil {
+		return fmt.Errorf("temporalrank: planner: nil index")
+	}
+	if ix.db != p.db {
+		return fmt.Errorf("temporalrank: planner: index %s built over a different DB", ix.Method())
+	}
+	p.mu.Lock()
+	p.indexes = append(p.indexes, ix)
+	p.mu.Unlock()
+	return nil
+}
+
+// DB returns the planner's database (the exact fallback path).
+func (p *Planner) DB() *DB { return p.db }
+
+// Indexes returns a snapshot of the registered indexes.
+func (p *Planner) Indexes() []*Index {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*Index, len(p.indexes))
+	copy(out, p.indexes)
+	return out
+}
+
+// Plan picks the Querier that will answer q, without running it:
+//
+//   - AggInstant goes to an EXACT3 index (native stabbing query) when
+//     one is registered, else to the DB scan — every other method
+//     would fall back to that scan anyway.
+//   - MaxEpsilon > 0 routes to the approximate class: among indexes
+//     with ε <= MaxEpsilon and k <= KMax, the cheapest by EstimateIOs
+//     wins (indexes within the advisory MaxIOs budget preferred). The
+//     class preference is deliberate — an approximate index's query
+//     cost is independent of N, which is exactly why the caller
+//     declared a tolerance.
+//   - MaxEpsilon == 0 (or no qualifying approximate index) routes to
+//     the cheapest exact index.
+//   - With no qualifying index at all (none registered, or purely
+//     approximate indexes under MaxEpsilon == 0, or k beyond every
+//     KMax) the brute-force DB answers exactly.
+func (p *Planner) Plan(q Query) Querier {
+	q = q.withDefaults()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+
+	if q.Agg == AggInstant {
+		for _, ix := range p.indexes {
+			if ix.Method() == MethodExact3 {
+				return ix
+			}
+		}
+		return p.db
+	}
+
+	if q.MaxEpsilon > 0 {
+		if ix := p.cheapest(q, true); ix != nil {
+			return ix
+		}
+	}
+	if ix := p.cheapest(q, false); ix != nil {
+		return ix
+	}
+	return p.db
+}
+
+// cheapest returns the lowest-cost qualifying index of one class
+// (approximate or exact), or nil. Callers hold p.mu.
+func (p *Planner) cheapest(q Query, wantApprox bool) *Index {
+	var (
+		best         *Index
+		bestCost     float64
+		bestInBudget bool
+	)
+	for _, ix := range p.indexes {
+		if ix.Method().IsApprox() != wantApprox {
+			continue
+		}
+		if wantApprox {
+			if ix.Epsilon() > q.MaxEpsilon {
+				continue
+			}
+			if km := ix.KMax(); km > 0 && q.K > km {
+				continue
+			}
+		}
+		cost := p.EstimateIOs(ix, q)
+		inBudget := q.MaxIOs == 0 || cost <= float64(q.MaxIOs)
+		switch {
+		case best == nil,
+			inBudget && !bestInBudget,
+			inBudget == bestInBudget && cost < bestCost:
+			best, bestCost, bestInBudget = ix, cost, inBudget
+		}
+	}
+	return best
+}
+
+// Run implements Querier: validate, route, execute.
+func (p *Planner) Run(ctx context.Context, q Query) (Answer, error) {
+	q = q.withDefaults()
+	if err := q.Validate(); err != nil {
+		return Answer{}, err
+	}
+	return p.Plan(q).Run(ctx, q)
+}
+
+// EstimateIOs instantiates the paper's asymptotic per-query IO costs
+// with the dataset's actual N, m and the index's block size, r and k —
+// the planner's cost model. The estimates are comparable across
+// methods, not predictions of exact counts.
+//
+//	EXACT1   log_B N + N/B      (leaf sweep)
+//	EXACT2   Σ log_B n_i        (two searches per object tree)
+//	EXACT3   log_B N + m/B      (two stabbing queries)
+//	APPX1    k/B + log_B r      (one list lookup)
+//	APPX2    k·log r·log_B k    (dyadic merge)
+//	APPX2+   APPX2 + k·log r·log_B n̄ (exact rescoring lookups)
+func (p *Planner) EstimateIOs(ix *Index, q Query) float64 {
+	var (
+		n = float64(p.db.NumSegments())
+		m = float64(p.db.NumSeries())
+		k = float64(q.K)
+	)
+	// Entries are a few dozen bytes across all structures; B is the
+	// fan-out / entries-per-block scale shared by every formula.
+	b := float64(ix.Stats().BlockSize) / 32
+	if b < 2 {
+		b = 2
+	}
+	logB := func(x float64) float64 {
+		if x < b {
+			return 1
+		}
+		return math.Log(x) / math.Log(b)
+	}
+	navg := math.Max(n/math.Max(m, 1), 2)
+	r := float64(ix.breakpoints())
+	logR := math.Max(math.Log2(math.Max(r, 2)), 1)
+	switch ix.Method() {
+	case MethodExact1:
+		return logB(n) + n/b
+	case MethodExact2:
+		return m * logB(navg)
+	case MethodExact3:
+		return logB(n) + m/b
+	case MethodAppx1, MethodAppx1B:
+		return k/b + logB(r)
+	case MethodAppx2, MethodAppx2B:
+		return k * logR * logB(math.Max(k, 2))
+	case MethodAppx2P:
+		return k*logR*logB(math.Max(k, 2)) + k*logR*logB(navg)
+	default:
+		return n / b
+	}
+}

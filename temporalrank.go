@@ -33,7 +33,9 @@ import (
 	"fmt"
 	"sync"
 
+	"temporalrank/internal/approx"
 	"temporalrank/internal/blockio"
+	"temporalrank/internal/breakpoint"
 	"temporalrank/internal/core"
 	"temporalrank/internal/exact"
 	"temporalrank/internal/topk"
@@ -56,7 +58,12 @@ const (
 )
 
 // IsApprox reports whether the method gives approximate answers.
-func (m Method) IsApprox() bool { return core.IsApprox(core.MethodName(m)) }
+func (m Method) IsApprox() bool {
+	if m == MethodReference {
+		return false
+	}
+	return core.IsApprox(core.MethodName(m))
+}
 
 // Methods lists all supported methods in the paper's order.
 func Methods() []Method {
@@ -119,10 +126,24 @@ func NewDB(series []SeriesInput) (*DB, error) {
 // and the experiment harness).
 func NewDBFromDataset(ds *tsdata.Dataset) *DB { return &DB{ds: ds} }
 
-// Dataset exposes the underlying dataset for advanced use. The
-// returned dataset is NOT protected by the DB's lock; do not use it
-// concurrently with Index.Append.
+// Dataset exposes the underlying dataset for advanced use.
+//
+// Deprecated: the returned dataset is NOT protected by the DB's lock —
+// reading it concurrently with Index.Append is a data race. Use
+// Snapshot for a safe copy, or the Querier/accessor methods which lock
+// internally. Kept for callers that own the DB exclusively (the
+// generators and the experiment harness).
 func (db *DB) Dataset() *tsdata.Dataset { return db.ds }
+
+// Snapshot returns a deep copy of the underlying dataset taken under
+// the read lock, safe to use (and mutate) regardless of concurrent
+// appends — the accessor the generators and the experiment harness
+// should prefer over Dataset.
+func (db *DB) Snapshot() *tsdata.Dataset {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ds.Clone()
+}
 
 // NumSeries returns m.
 func (db *DB) NumSeries() int {
@@ -152,18 +173,29 @@ func (db *DB) End() float64 {
 	return db.ds.End()
 }
 
+// Span returns the width of the temporal domain, End() − Start().
+func (db *DB) Span() float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ds.Span()
+}
+
 // Score computes σ_i(t1,t2) exactly from the in-memory representation.
+// An out-of-range id wraps ErrUnknownSeries.
 func (db *DB) Score(id int, t1, t2 float64) (float64, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if id < 0 || id >= db.ds.NumSeries() {
-		return 0, fmt.Errorf("temporalrank: unknown series %d", id)
+		return 0, fmt.Errorf("temporalrank: %w: %d", ErrUnknownSeries, id)
 	}
 	return db.ds.Series(tsdata.SeriesID(id)).Range(t1, t2), nil
 }
 
 // TopK computes the exact answer by brute force over the in-memory
 // data — the reference all indexes are measured against.
+//
+// Deprecated: use Run with a Query; it adds context cancellation and a
+// typed Answer. TopK remains as a thin wrapper.
 func (db *DB) TopK(k int, t1, t2 float64) []Result {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -240,8 +272,53 @@ func (db *DB) BuildIndex(opts Options) (*Index, error) {
 // Method returns the index's method name.
 func (ix *Index) Method() Method { return Method(ix.m.Name()) }
 
+// Epsilon returns the (ε,α) error parameter the index was built with;
+// 0 for exact methods. The Planner compares it against a Query's
+// MaxEpsilon when routing. The shared lock matters: an amortized
+// rebuild (Append past the mass-doubling threshold) swaps the
+// breakpoint set under the exclusive lock.
+func (ix *Index) Epsilon() float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if a, ok := ix.m.(approx.Index); ok {
+		return a.Epsilon()
+	}
+	return 0
+}
+
+// KMax returns the largest query k the index supports; 0 means
+// unbounded (exact methods). Queries beyond KMax wrap ErrKTooLarge.
+func (ix *Index) KMax() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if a, ok := ix.m.(approx.Index); ok {
+		return a.KMax()
+	}
+	return 0
+}
+
+// breakpoints returns the size r of the index's breakpoint set (0 for
+// exact methods) — an input to the Planner's cost model. Locked for
+// the same rebuild-swap reason as Epsilon.
+func (ix *Index) breakpoints() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if b, ok := ix.m.(interface{ Breaks() *breakpoint.Set }); ok {
+		return b.Breaks().R()
+	}
+	return 0
+}
+
 // TopK answers top-k(t1, t2, sum) through the index.
+//
+// Deprecated: use Run with a Query; it adds context cancellation,
+// per-query latency/IO measurement, and a typed Answer. TopK remains
+// as a thin wrapper.
 func (ix *Index) TopK(k int, t1, t2 float64) ([]Result, error) {
+	return ix.topK(k, t1, t2)
+}
+
+func (ix *Index) topK(k int, t1, t2 float64) ([]Result, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	items, err := ix.m.TopK(k, t1, t2)
@@ -251,9 +328,11 @@ func (ix *Index) TopK(k int, t1, t2 float64) ([]Result, error) {
 	return toResults(items), nil
 }
 
-// Score returns the index's estimate of σ_i(t1,t2) (exact for exact
-// methods; for approximate methods, 0 when the object is outside the
-// materialized lists).
+// Score returns the index's estimate of σ_i(t1,t2): exact for exact
+// methods; for approximate methods the stored estimate, or an error
+// wrapping ErrNotMaterialized when the object is outside the
+// materialized lists (no estimate exists — callers wanting a value for
+// every object should use DB.Score or an exact index).
 func (ix *Index) Score(id int, t1, t2 float64) (float64, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -269,7 +348,7 @@ func (ix *Index) Append(id int, t, v float64) error {
 	ix.db.mu.Lock()
 	defer ix.db.mu.Unlock()
 	if id < 0 || id >= ix.db.ds.NumSeries() {
-		return fmt.Errorf("temporalrank: unknown series %d", id)
+		return fmt.Errorf("temporalrank: %w: %d", ErrUnknownSeries, id)
 	}
 	if core.IsApprox(core.MethodName(ix.m.Name())) {
 		// Approximate indexes own the dataset mutation (they track mass
