@@ -1,0 +1,440 @@
+package temporalrank
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"temporalrank/internal/scatter"
+	"temporalrank/internal/topk"
+	"temporalrank/internal/tsdata"
+)
+
+// Cluster is the scale-out Querier: it hash-partitions series across N
+// shards — each shard an independent DB with its own indexes, Planner,
+// and blockio device — and answers a Query by scattering per-shard Runs
+// over a bounded worker pool, then k-way merging the per-shard top-k
+// answers. Because the paper's query family top-k(t1, t2, agg)
+// decomposes over disjoint object partitions, the merged answer is
+// exactly what a single node over the whole dataset would produce, down
+// to tie order (equal scores break by ascending global series ID).
+//
+// Answer semantics of a cluster Run (see also MethodMixed):
+//
+//   - Results carry global series IDs, merged deterministically.
+//   - Exact is true only when every shard answered exactly.
+//   - Epsilon is the worst (maximum) shard ε — the sound bound for the
+//     merged set, since each score is off by at most its own shard's ε.
+//   - IOs sums per-shard device deltas. Each delta is snapshotted
+//     inside its shard's goroutine against that shard's private device,
+//     so one query's shards never cross-attribute each other's IOs.
+//     (Two concurrent queries hitting the same shard can still swap
+//     IOs on that shard's device, as on any single node.)
+//   - Latency is the slowest shard's computation time (the critical
+//     path of the scatter), not the sum.
+//   - Method is the shards' common method, or MethodMixed when the
+//     per-shard planners routed differently.
+//
+// Query.MaxEpsilon and Query.MaxIOs are routing hints applied by each
+// shard's planner independently: MaxEpsilon bounds every shard's ε
+// (hence the merged ε), while the advisory MaxIOs budget is honored
+// per shard, so a cluster answer may cost up to NumShards x MaxIOs in
+// total. As on a single node, the budget never relaxes correctness.
+//
+// Ingest is sharded the same way: Append routes one segment to its
+// owning shard and advances every index on that shard consistently
+// through Planner.Append.
+//
+// Cluster is safe for concurrent use; its shards inherit the DB/Index
+// locking rules.
+type Cluster struct {
+	part    Partitioner
+	workers int
+	shards  []*clusterShard
+	// shardOf / localOf map a global series ID to its shard and its
+	// position inside that shard's DB. Immutable after construction.
+	shardOf []int
+	localOf []int
+}
+
+// clusterShard is one partition: an independent single-node stack. db
+// and planner are nil when no series routed to the shard.
+type clusterShard struct {
+	db      *DB
+	planner *Planner
+	indexes []*Index
+	// global maps the shard's local series IDs back to global IDs. It is
+	// ascending (series are routed in global-ID order), so a shard's
+	// tie-broken local order remaps to the correct global tie order.
+	global []int
+}
+
+// MethodMixed marks a cluster Answer whose shards answered with
+// different methods (for example, one shard's planner routed to an
+// approximate index while another fell back to brute force).
+const MethodMixed Method = "MIXED"
+
+// Compile-time check: the cluster is a Querier like everything else.
+var _ Querier = (*Cluster)(nil)
+
+// ClusterOptions configures NewCluster and friends.
+type ClusterOptions struct {
+	// Shards is the number of partitions (default 1).
+	Shards int
+	// Partitioner assigns series to shards (default HashPartition).
+	Partitioner Partitioner
+	// Indexes is the index set built on every shard, in Planner
+	// registration order. Empty means brute-force shards (every query
+	// answered by the shard DB's reference scan).
+	Indexes []Options
+	// Workers bounds how many shards one Run queries concurrently
+	// (default GOMAXPROCS). Construction always parallelizes across
+	// GOMAXPROCS regardless.
+	Workers int
+}
+
+// NewCluster validates and assembles a sharded database from raw
+// series. The slice index of each series is its global ID, exactly as
+// in NewDB — a Cluster built from the same series as a DB answers
+// queries with the same IDs.
+func NewCluster(series []SeriesInput, opts ClusterOptions) (*Cluster, error) {
+	n := opts.Shards
+	if n == 0 {
+		n = 1
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("temporalrank: cluster needs >= 1 shard, got %d", n)
+	}
+	if len(series) == 0 {
+		return nil, fmt.Errorf("temporalrank: no series given")
+	}
+	part := opts.Partitioner
+	if part == nil {
+		part = HashPartition
+	}
+	c := &Cluster{
+		part:    part,
+		workers: opts.Workers,
+		shards:  make([]*clusterShard, n),
+		shardOf: make([]int, len(series)),
+		localOf: make([]int, len(series)),
+	}
+	inputs := make([][]SeriesInput, n)
+	for i := range c.shards {
+		c.shards[i] = &clusterShard{}
+	}
+	for id, in := range series {
+		s, err := checkPartition(part, id, n)
+		if err != nil {
+			return nil, err
+		}
+		sh := c.shards[s]
+		c.shardOf[id] = s
+		c.localOf[id] = len(sh.global)
+		sh.global = append(sh.global, id)
+		inputs[s] = append(inputs[s], in)
+	}
+	// Phase 1: shard DBs, in parallel. Each task writes only its own
+	// shard slot.
+	err := scatter.Run(context.Background(), n, runtime.GOMAXPROCS(0), func(_ context.Context, i int) error {
+		if len(inputs[i]) == 0 {
+			return nil // empty shard: fewer series than shards
+		}
+		db, err := NewDB(inputs[i])
+		if err != nil {
+			return fmt.Errorf("temporalrank: cluster shard %d: %w", i, err)
+		}
+		c.shards[i].db = db
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Phase 2: every (shard, index) build as one flat parallel batch, so
+	// a single-shard multi-index cluster builds as concurrently as a
+	// many-shard one.
+	type buildJob struct{ shard, opt int }
+	var jobs []buildJob
+	for i, sh := range c.shards {
+		if sh.db == nil {
+			continue
+		}
+		sh.indexes = make([]*Index, len(opts.Indexes))
+		for j := range opts.Indexes {
+			jobs = append(jobs, buildJob{shard: i, opt: j})
+		}
+	}
+	err = scatter.Run(context.Background(), len(jobs), runtime.GOMAXPROCS(0), func(_ context.Context, j int) error {
+		b := jobs[j]
+		ix, err := c.shards[b.shard].db.BuildIndex(opts.Indexes[b.opt])
+		if err != nil {
+			return fmt.Errorf("temporalrank: cluster shard %d index %q: %w", b.shard, opts.Indexes[b.opt].Method, err)
+		}
+		c.shards[b.shard].indexes[b.opt] = ix
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Phase 3: one planner per shard routes exactly like a single node.
+	for i, sh := range c.shards {
+		if sh.db == nil {
+			continue
+		}
+		p, err := NewPlanner(sh.db, sh.indexes...)
+		if err != nil {
+			return nil, fmt.Errorf("temporalrank: cluster shard %d: %w", i, err)
+		}
+		sh.planner = p
+	}
+	return c, nil
+}
+
+// NewClusterFromSamples builds a sharded database from raw per-object
+// samples, applying the chosen segmentation before partitioning — the
+// sharded counterpart of NewDBFromSamples.
+func NewClusterFromSamples(objects [][]Sample, method SegmentationMethod, errBudget float64, opts ClusterOptions) (*Cluster, error) {
+	inputs, err := segmentObjects(objects, method, errBudget)
+	if err != nil {
+		return nil, err
+	}
+	return NewCluster(inputs, opts)
+}
+
+// NewClusterFromDB re-partitions an existing single-node database into
+// a cluster (the rankserver -shards path: load once, shard at startup).
+// The cluster copies the DB's current data; later appends to either
+// side do not propagate to the other.
+func NewClusterFromDB(db *DB, opts ClusterOptions) (*Cluster, error) {
+	// Copy the vertices out under the read lock directly — no
+	// intermediate Snapshot clone, so peak memory is the copy itself.
+	db.mu.RLock()
+	series := make([]SeriesInput, db.ds.NumSeries())
+	for i, s := range db.ds.AllSeries() {
+		nv := s.NumSegments() + 1
+		times := make([]float64, nv)
+		values := make([]float64, nv)
+		for j := 0; j < nv; j++ {
+			times[j] = s.VertexTime(j)
+			values[j] = s.VertexValue(j)
+		}
+		series[i] = SeriesInput{Times: times, Values: values}
+	}
+	db.mu.RUnlock()
+	return NewCluster(series, opts)
+}
+
+// NumShards returns the number of partitions (including empty ones).
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// NumSeries returns the global object count m.
+func (c *Cluster) NumSeries() int { return len(c.shardOf) }
+
+// NumSegments returns the global segment count N.
+func (c *Cluster) NumSegments() int {
+	total := 0
+	for _, sh := range c.shards {
+		if sh.db != nil {
+			total += sh.db.NumSegments()
+		}
+	}
+	return total
+}
+
+// Start returns the left end of the global temporal domain.
+func (c *Cluster) Start() float64 {
+	v, set := 0.0, false
+	for _, sh := range c.shards {
+		if sh.db == nil {
+			continue
+		}
+		if s := sh.db.Start(); !set || s < v {
+			v, set = s, true
+		}
+	}
+	return v
+}
+
+// End returns the right end of the global temporal domain.
+func (c *Cluster) End() float64 {
+	v, set := 0.0, false
+	for _, sh := range c.shards {
+		if sh.db == nil {
+			continue
+		}
+		if e := sh.db.End(); !set || e > v {
+			v, set = e, true
+		}
+	}
+	return v
+}
+
+// Planners returns the per-shard planners, indexed by shard; entries
+// are nil for empty shards. Through a planner callers reach each
+// shard's DB and indexes for stats and direct queries.
+func (c *Cluster) Planners() []*Planner {
+	out := make([]*Planner, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = sh.planner
+	}
+	return out
+}
+
+// Run implements Querier by scatter-gather: every non-empty shard
+// answers q through its own planner on a bounded worker pool
+// (first-error-wins, context-cancellable), and the per-shard top-k
+// lists are merged deterministically. See the type docs for the merged
+// Answer semantics.
+func (c *Cluster) Run(ctx context.Context, q Query) (Answer, error) {
+	q = q.withDefaults()
+	if err := q.Validate(); err != nil {
+		return Answer{}, err
+	}
+	// Single-shard fast path: local IDs equal global IDs (everything
+	// routed to shard 0) and there is nothing to merge, so the shard
+	// planner's answer is already the cluster answer — no scatter
+	// machinery on the default -shards 1 hot path.
+	if len(c.shards) == 1 && c.shards[0].db != nil {
+		return c.shards[0].planner.Run(ctx, q)
+	}
+	answers := make([]Answer, len(c.shards))
+	lists := make([][]topk.Item, len(c.shards))
+	answered := make([]bool, len(c.shards))
+	err := scatter.Run(ctx, len(c.shards), c.queryWorkers(), func(ctx context.Context, i int) error {
+		sh := c.shards[i]
+		if sh.db == nil {
+			return nil
+		}
+		ans, err := sh.planner.Run(ctx, q)
+		if err != nil {
+			return fmt.Errorf("temporalrank: cluster shard %d: %w", i, err)
+		}
+		// Remap local result IDs to global inside the shard goroutine.
+		// sh.global is ascending, so the shard's tie order (ascending
+		// local ID) is the correct global tie order and the list stays in
+		// merge order. The per-shard IO delta in ans was likewise
+		// snapshotted here, against this shard's own device.
+		items := make([]topk.Item, len(ans.Results))
+		for j, r := range ans.Results {
+			items[j] = topk.Item{ID: tsdata.SeriesID(sh.global[r.ID]), Score: r.Score}
+		}
+		lists[i] = items
+		answers[i] = ans
+		answered[i] = true
+		return nil
+	})
+	if err != nil {
+		return Answer{}, err
+	}
+	merged := Answer{
+		Results: toResults(topk.Merge(q.K, lists...)),
+		Exact:   true,
+	}
+	first := true
+	for i := range answers {
+		if !answered[i] {
+			continue
+		}
+		ans := answers[i]
+		if first {
+			merged.Method = ans.Method
+			first = false
+		} else if merged.Method != ans.Method {
+			merged.Method = MethodMixed
+		}
+		merged.Exact = merged.Exact && ans.Exact
+		if ans.Epsilon > merged.Epsilon {
+			merged.Epsilon = ans.Epsilon
+		}
+		merged.IOs += ans.IOs
+		if ans.Latency > merged.Latency {
+			merged.Latency = ans.Latency
+		}
+	}
+	return merged, nil
+}
+
+// queryWorkers resolves the scatter bound for one Run.
+func (c *Cluster) queryWorkers() int {
+	if c.workers > 0 {
+		return c.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Append extends global object id with a new segment ending at (t, v):
+// the segment is routed to the owning shard and applied there through
+// Planner.Append, which advances the shard DB and every shard index in
+// one consistent step. Shards are independent, so appends to different
+// shards proceed in parallel.
+func (c *Cluster) Append(id int, t, v float64) error {
+	sh, local, err := c.route(id)
+	if err != nil {
+		return err
+	}
+	return sh.planner.Append(local, t, v)
+}
+
+// Score returns the cluster's estimate of σ_id(t1,t2), answered by the
+// owning shard's primary (first-registered) index, or its DB when the
+// shard runs index-less. Approximate primaries answer with their stored
+// estimate or ErrNotMaterialized, exactly as Index.Score.
+func (c *Cluster) Score(id int, t1, t2 float64) (float64, error) {
+	sh, local, err := c.route(id)
+	if err != nil {
+		return 0, err
+	}
+	if len(sh.indexes) > 0 {
+		return sh.indexes[0].Score(local, t1, t2)
+	}
+	return sh.db.Score(local, t1, t2)
+}
+
+// route maps a global series ID to its shard and local ID.
+func (c *Cluster) route(id int) (*clusterShard, int, error) {
+	if id < 0 || id >= len(c.shardOf) {
+		return nil, 0, fmt.Errorf("temporalrank: %w: %d", ErrUnknownSeries, id)
+	}
+	return c.shards[c.shardOf[id]], c.localOf[id], nil
+}
+
+// ClusterStats summarizes one cluster's shape and per-shard load.
+type ClusterStats struct {
+	Shards   int
+	Objects  int
+	Segments int
+	// PerShard has one entry per shard (empty shards report zeros).
+	PerShard []ShardStats
+}
+
+// ShardStats is one shard's slice of the data and its index footprint.
+type ShardStats struct {
+	Objects  int
+	Segments int
+	Indexes  []Stats
+}
+
+// Stats reports the cluster's shape: how the partitioner spread the
+// objects and what each shard's indexes cost.
+func (c *Cluster) Stats() ClusterStats {
+	out := ClusterStats{
+		Shards:   len(c.shards),
+		Objects:  len(c.shardOf),
+		PerShard: make([]ShardStats, len(c.shards)),
+	}
+	for i, sh := range c.shards {
+		if sh.db == nil {
+			continue
+		}
+		st := ShardStats{
+			Objects:  sh.db.NumSeries(),
+			Segments: sh.db.NumSegments(),
+		}
+		for _, ix := range sh.indexes {
+			st.Indexes = append(st.Indexes, ix.Stats())
+		}
+		out.PerShard[i] = st
+		out.Segments += st.Segments
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"temporalrank"
+	"temporalrank/internal/exp"
+	"temporalrank/internal/gen"
+)
+
+// clusterBenchRun is one shard count's measurement in BENCH_cluster.json.
+type clusterBenchRun struct {
+	Shards       int     `json:"shards"`
+	Queries      int     `json:"queries"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	P50LatencyNS int64   `json:"p50_latency_ns"`
+	BuildMS      int64   `json:"build_ms"`
+}
+
+// clusterBenchReport is the artifact the CI benchmark step uploads, so
+// the scale-out perf trajectory is recorded per commit.
+type clusterBenchReport struct {
+	Objects     int               `json:"objects"`
+	AvgSegments int               `json:"avg_segments"`
+	K           int               `json:"k"`
+	Method      string            `json:"method"`
+	Runs        []clusterBenchRun `json:"runs"`
+}
+
+// runClusterBench measures the same top-k workload against a 1-shard
+// and an 8-shard cluster (EXACT3 on every shard) and writes ops/sec and
+// p50 latency per shard count to path as JSON.
+func runClusterBench(path string, p exp.Params) error {
+	ds, err := gen.RandomWalk(gen.RandomWalkConfig{M: p.M, Navg: p.Navg, Seed: p.Seed, Span: 1000})
+	if err != nil {
+		return err
+	}
+	db := temporalrank.NewDBFromDataset(ds)
+	report := clusterBenchReport{
+		Objects:     p.M,
+		AvgSegments: p.Navg,
+		K:           p.K,
+		Method:      string(temporalrank.MethodExact3),
+	}
+	for _, shards := range []int{1, 8} {
+		buildStart := time.Now()
+		c, err := temporalrank.NewClusterFromDB(db, temporalrank.ClusterOptions{
+			Shards:  shards,
+			Indexes: []temporalrank.Options{{Method: temporalrank.MethodExact3}},
+		})
+		if err != nil {
+			return fmt.Errorf("cluster bench shards=%d: %w", shards, err)
+		}
+		buildMS := time.Since(buildStart).Milliseconds()
+		run, err := measureCluster(c, shards, p)
+		if err != nil {
+			return err
+		}
+		run.BuildMS = buildMS
+		report.Runs = append(report.Runs, run)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// measureCluster drives p.NumQueries random-interval top-k queries
+// (after a small warmup) and summarizes throughput and p50 latency.
+func measureCluster(c *temporalrank.Cluster, shards int, p exp.Params) (clusterBenchRun, error) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(p.Seed + int64(shards)))
+	span := c.End() - c.Start()
+	next := func() temporalrank.Query {
+		t1 := c.Start() + rng.Float64()*span*(1-p.IntervalFrac)
+		return temporalrank.SumQuery(p.K, t1, t1+span*p.IntervalFrac)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Run(ctx, next()); err != nil {
+			return clusterBenchRun{}, fmt.Errorf("cluster bench warmup shards=%d: %w", shards, err)
+		}
+	}
+	lat := make([]time.Duration, p.NumQueries)
+	total := time.Duration(0)
+	for i := range lat {
+		q := next()
+		start := time.Now()
+		if _, err := c.Run(ctx, q); err != nil {
+			return clusterBenchRun{}, fmt.Errorf("cluster bench shards=%d: %w", shards, err)
+		}
+		lat[i] = time.Since(start)
+		total += lat[i]
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	return clusterBenchRun{
+		Shards:       shards,
+		Queries:      p.NumQueries,
+		OpsPerSec:    float64(p.NumQueries) / total.Seconds(),
+		P50LatencyNS: int64(lat[len(lat)/2]),
+	}, nil
+}

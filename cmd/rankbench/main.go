@@ -7,8 +7,13 @@
 //	rankbench -fig 12                 # one figure at defaults
 //	rankbench -fig all -m 2000        # the whole evaluation, bigger data
 //	rankbench -fig updates -queries 20
+//	rankbench -cluster-bench BENCH_cluster.json   # 1- vs 8-shard scatter-gather
 //
 // Figures: 11 12 13 14 15 16 17 18 19 20 updates ablations all
+//
+// -cluster-bench skips the figures and instead measures the sharded
+// Cluster query path (ops/sec and p50 latency at 1 and 8 shards),
+// writing the JSON report CI uploads as a perf-trajectory artifact.
 package main
 
 import (
@@ -33,6 +38,7 @@ func main() {
 		seed      = flag.Int64("seed", 0, "RNG seed (0 = default)")
 		frac      = flag.Float64("frac", 0, "query interval as fraction of T (0 = default)")
 		blockSize = flag.Int("block", 0, "device block size in bytes (0 = 4096)")
+		cbench    = flag.String("cluster-bench", "", "write the 1- vs 8-shard cluster benchmark to this JSON file instead of running figures")
 	)
 	flag.Parse()
 
@@ -66,6 +72,13 @@ func main() {
 		p.BlockSize = *blockSize
 	}
 
+	if *cbench != "" {
+		if err := runClusterBench(*cbench, p); err != nil {
+			fmt.Fprintln(os.Stderr, "rankbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*fig, p); err != nil {
 		fmt.Fprintln(os.Stderr, "rankbench:", err)
 		os.Exit(1)

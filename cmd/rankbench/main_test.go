@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"temporalrank/internal/exp"
@@ -28,5 +31,28 @@ func TestRunSingleFigures(t *testing.T) {
 func TestRunUnknownFigure(t *testing.T) {
 	if err := run("99", tiny()); err == nil {
 		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunClusterBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+	if err := runClusterBench(path, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report clusterBenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	if len(report.Runs) != 2 || report.Runs[0].Shards != 1 || report.Runs[1].Shards != 8 {
+		t.Fatalf("report runs: %+v", report.Runs)
+	}
+	for _, r := range report.Runs {
+		if r.OpsPerSec <= 0 || r.P50LatencyNS <= 0 {
+			t.Fatalf("degenerate measurement: %+v", r)
+		}
 	}
 }

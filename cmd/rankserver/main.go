@@ -8,10 +8,14 @@
 //
 //	rankserver -data temp.csv -method EXACT3 -addr :8080
 //	rankserver -gen 500x80 -method EXACT3,APPX2+ -workers 16
+//	rankserver -gen 5000x80 -method EXACT3 -shards 8
 //
-// With several -method values the Planner routes each query to the
-// cheapest index satisfying its error tolerance (the eps parameter);
-// eps=0 or no eps demands an exact answer.
+// With several -method values each shard's Planner routes queries to
+// the cheapest index satisfying their error tolerance (the eps
+// parameter); eps=0 or no eps demands an exact answer. With -shards N
+// the dataset is hash-partitioned across N independent shards (each
+// its own DB, indexes, and device) and every query is scatter-gathered
+// with a deterministic top-k merge — same answers, parallel execution.
 //
 // Endpoints (all JSON):
 //
@@ -20,8 +24,8 @@
 //	GET  /avg?k=10&t1=50&t2=120    top-k(t1,t2,avg)  (deprecated: /query)
 //	GET  /instant?k=10&t=75        instant top-k(t)  (deprecated: /query)
 //	GET  /score?id=3&t1=50&t2=120  one object's σ(t1,t2); 404 not_materialized
-//	POST /append                    {"id":3,"t":130.5,"v":42.0} (single-index only)
-//	GET  /stats                     dataset + per-index + engine statistics
+//	POST /append                    {"id":3,"t":130.5,"v":42.0} routed to the owning shard
+//	GET  /stats                     dataset + per-shard + per-index + engine statistics
 //	GET  /healthz                   liveness probe
 //
 // Every query runs under a -timeout deadline propagated through the
@@ -42,7 +46,6 @@ import (
 	"time"
 
 	"temporalrank"
-	"temporalrank/internal/engine"
 	"temporalrank/internal/gen"
 	"temporalrank/internal/tsio"
 )
@@ -60,16 +63,18 @@ func main() {
 		cache   = flag.Int("cache", 0, "LRU buffer pool size in pages (0 = none)")
 		workers = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
 		build   = flag.Int("build-workers", 0, "parallel build workers for per-series construction (0 = sequential)")
+		shards  = flag.Int("shards", 1, "hash-partition the dataset across this many shards")
+		swork   = flag.Int("shard-workers", 0, "per-query shard fan-out bound (0 = GOMAXPROCS; lower it to trade idle latency for less oversubscription under full load)")
 		timeout = flag.Duration("timeout", 10*time.Second, "per-query deadline (0 = none)")
 	)
 	flag.Parse()
-	if err := run(*addr, *data, *binary, *genSpec, *seed, *method, *r, *kmax, *cache, *workers, *build, *timeout); err != nil {
+	if err := run(*addr, *data, *binary, *genSpec, *seed, *method, *r, *kmax, *cache, *workers, *build, *shards, *swork, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "rankserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, data string, binary bool, genSpec string, seed int64, methods string, r, kmax, cache, workers, build int, timeout time.Duration) error {
+func run(addr, data string, binary bool, genSpec string, seed int64, methods string, r, kmax, cache, workers, build, shards, shardWorkers int, timeout time.Duration) error {
 	db, err := loadDB(data, binary, genSpec, seed)
 	if err != nil {
 		return err
@@ -95,17 +100,28 @@ func run(addr, data string, binary bool, genSpec string, seed int64, methods str
 		return fmt.Errorf("-method must name at least one index")
 	}
 	buildStart := time.Now()
-	ixs, err := engine.BuildIndexes(db, opts, 0)
+	cluster, err := temporalrank.NewClusterFromDB(db, temporalrank.ClusterOptions{
+		Shards:  shards,
+		Indexes: opts,
+		Workers: shardWorkers,
+	})
 	if err != nil {
 		return err
 	}
-	for _, ix := range ixs {
-		st := ix.Stats()
-		log.Printf("built %s: %d pages (%d bytes)", st.MethodName, st.Pages, st.Bytes)
+	cst := cluster.Stats()
+	for i, sst := range cst.PerShard {
+		pages, bytes := 0, int64(0)
+		for _, ist := range sst.Indexes {
+			pages += ist.Pages
+			bytes += ist.Bytes
+		}
+		log.Printf("shard %d: %d objects, %d segments, %d index pages (%d bytes)",
+			i, sst.Objects, sst.Segments, pages, bytes)
 	}
-	log.Printf("all %d indexes built in %v", len(ixs), time.Since(buildStart).Round(time.Millisecond))
+	log.Printf("%d shards x %d indexes built in %v",
+		cst.Shards, len(opts), time.Since(buildStart).Round(time.Millisecond))
 
-	srv, err := newServer(db, ixs, workers, timeout)
+	srv, err := newServer(cluster, workers, timeout)
 	if err != nil {
 		return err
 	}

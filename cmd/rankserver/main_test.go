@@ -16,20 +16,31 @@ import (
 )
 
 func testServer(t *testing.T, methods ...temporalrank.Method) (*server, *temporalrank.DB, *httptest.Server) {
+	return testShardedServer(t, 1, methods...)
+}
+
+// testShardedServer builds a server over a cluster with the given shard
+// count; shards=1 is the single-node configuration every pre-cluster
+// test uses.
+func testShardedServer(t *testing.T, shards int, methods ...temporalrank.Method) (*server, *temporalrank.DB, *httptest.Server) {
 	t.Helper()
 	ds, err := gen.RandomWalk(gen.RandomWalkConfig{M: 50, Navg: 40, Seed: 5, Span: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
 	db := temporalrank.NewDBFromDataset(ds)
-	ixs := make([]*temporalrank.Index, len(methods))
+	opts := make([]temporalrank.Options, len(methods))
 	for i, m := range methods {
-		ixs[i], err = db.BuildIndex(temporalrank.Options{Method: m, TargetR: 80, KMax: 50})
-		if err != nil {
-			t.Fatal(err)
-		}
+		opts[i] = temporalrank.Options{Method: m, TargetR: 80, KMax: 50}
 	}
-	srv, err := newServer(db, ixs, 8, 30*time.Second)
+	cluster, err := temporalrank.NewClusterFromDB(db, temporalrank.ClusterOptions{
+		Shards:  shards,
+		Indexes: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(cluster, 8, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,11 +351,13 @@ func testServerKMax(t *testing.T, method temporalrank.Method, kmax int) (*server
 		t.Fatal(err)
 	}
 	db := temporalrank.NewDBFromDataset(ds)
-	ix, err := db.BuildIndex(temporalrank.Options{Method: method, TargetR: 80, KMax: kmax})
+	cluster, err := temporalrank.NewClusterFromDB(db, temporalrank.ClusterOptions{
+		Indexes: []temporalrank.Options{{Method: method, TargetR: 80, KMax: kmax}},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(db, []*temporalrank.Index{ix}, 4, 30*time.Second)
+	srv, err := newServer(cluster, 4, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,18 +369,112 @@ func testServerKMax(t *testing.T, method temporalrank.Method, kmax int) (*server
 	return srv, db, ts
 }
 
-// TestAppendMultiIndexRejected: appends through a multi-index planner
-// would silently stale the sibling indexes, so the server refuses.
-func TestAppendMultiIndexRejected(t *testing.T) {
+// TestAppendMultiIndex: appends on a multi-index server now succeed —
+// Planner.Append advances every index consistently (they used to be
+// rejected with 409 because a single Index.Append would silently stale
+// its siblings). Both indexes must serve the appended data.
+func TestAppendMultiIndex(t *testing.T) {
 	_, db, ts := testServer(t, temporalrank.MethodExact3, temporalrank.MethodAppx2)
-	body, _ := json.Marshal(appendRequest{ID: 0, T: db.End() + 1, V: 1})
+	tend := db.End()
+	for i := 0; i < 10; i++ {
+		tend += 1
+		body, _ := json.Marshal(appendRequest{ID: 0, T: tend, V: 5})
+		resp, err := http.Post(ts.URL+"/append", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("multi-index append %d: status %d, want 200", i, resp.StatusCode)
+		}
+	}
+	var st statsResponse
+	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("/stats status %d", code)
+	}
+	if st.DomainEnd != tend {
+		t.Fatalf("domain end %g after appends, want %g", st.DomainEnd, tend)
+	}
+	// The exact index must see the appended mass: query an interval
+	// covering only the new segments.
+	var q queryResponse
+	if code := getJSON(t, fmt.Sprintf("%s/query?k=1&t1=%g&t2=%g", ts.URL, db.End(), tend), &q); code != http.StatusOK {
+		t.Fatalf("/query status %d", code)
+	}
+	if len(q.Results) != 1 || q.Results[0].ID != 0 {
+		t.Fatalf("post-append query: %+v, want object 0 on top", q)
+	}
+	// A stale append (t behind the frontier) still fails cleanly.
+	body, _ := json.Marshal(appendRequest{ID: 0, T: tend - 50, V: 1})
 	resp, err := http.Post(ts.URL+"/append", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("multi-index append: status %d, want 409", resp.StatusCode)
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("stale append accepted")
+	}
+}
+
+// TestShardedServer: -shards 8 serves /query with correct merged
+// results and metadata through the same HTTP surface.
+func TestShardedServer(t *testing.T) {
+	_, db, ts := testShardedServer(t, 8, temporalrank.MethodExact3)
+	t1, t2 := db.Start(), db.End()
+
+	var st statsResponse
+	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("/stats status %d", code)
+	}
+	if st.Shards != 8 || st.Objects != db.NumSeries() || st.Segments != db.NumSegments() {
+		t.Fatalf("sharded stats: %+v", st)
+	}
+	perShardTotal := 0
+	for _, sh := range st.PerShard {
+		perShardTotal += sh.Objects
+	}
+	if perShardTotal != db.NumSeries() {
+		t.Fatalf("per-shard objects sum to %d, want %d", perShardTotal, db.NumSeries())
+	}
+
+	var q queryResponse
+	if code := getJSON(t, fmt.Sprintf("%s/query?k=5&t1=%g&t2=%g", ts.URL, t1, t2), &q); code != http.StatusOK {
+		t.Fatalf("/query status %d", code)
+	}
+	if q.Method != string(temporalrank.MethodExact3) || !q.Exact {
+		t.Fatalf("merged metadata: %+v", q)
+	}
+	want := db.TopK(5, t1, t2)
+	for j := range want {
+		if q.Results[j].ID != want[j].ID {
+			t.Fatalf("rank %d: got object %d, want %d", j, q.Results[j].ID, want[j].ID)
+		}
+	}
+
+	// /score and /append route by global ID.
+	var sc scoreResponse
+	if code := getJSON(t, fmt.Sprintf("%s/score?id=7&t1=%g&t2=%g", ts.URL, t1, t2), &sc); code != http.StatusOK {
+		t.Fatalf("/score status %d", code)
+	}
+	wantScore, err := db.Score(7, t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := sc.Score - wantScore
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 1e-6 {
+		t.Fatalf("sharded /score got %g, want %g", sc.Score, wantScore)
+	}
+	body, _ := json.Marshal(appendRequest{ID: 7, T: db.End() + 1, V: 2})
+	resp, err := http.Post(ts.URL+"/append", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded append: status %d", resp.StatusCode)
 	}
 }
 

@@ -13,40 +13,48 @@ import (
 	"temporalrank/internal/engine"
 )
 
-// server is the HTTP front end over a Planner routing across one or
-// more indexes, executed through the concurrent query engine. It
-// implements http.Handler, so tests mount it on httptest servers.
+// server is the HTTP front end over a Cluster — one or more shards,
+// each an independent DB + indexes + Planner — executed through the
+// concurrent query engine. A single-node deployment is simply the
+// 1-shard cluster, so every request flows through the same Querier
+// path regardless of -shards. It implements http.Handler, so tests
+// mount it on httptest servers.
 //
 // /query is the primary endpoint: the caller states aggregate, k,
-// interval and error tolerance, and the planner picks the cheapest
-// index that satisfies them. The older per-aggregate routes (/topk,
+// interval and error tolerance; each shard's planner picks the
+// cheapest index that satisfies them and the per-shard answers are
+// merged deterministically. The older per-aggregate routes (/topk,
 // /avg, /instant) delegate to the same code path with a fixed
 // aggregate.
 type server struct {
-	db      *temporalrank.DB
-	planner *temporalrank.Planner
-	// indexes caches the planner's index set, fixed at construction, so
-	// hot paths skip the planner's locked snapshot copy.
-	indexes []*temporalrank.Index
+	cluster *temporalrank.Cluster
+	// primary is the first index of the first non-empty shard (nil when
+	// the cluster runs brute-force): the structure /score reports and
+	// the deprecated routes inherit their ε tolerance from. Shards are
+	// built homogeneously, so it is representative of every shard.
+	primary *temporalrank.Index
 	exec    *engine.Executor
 	mux     *http.ServeMux
 	timeout time.Duration
 	start   time.Time
 }
 
-func newServer(db *temporalrank.DB, indexes []*temporalrank.Index, workers int, timeout time.Duration) (*server, error) {
-	planner, err := temporalrank.NewPlanner(db, indexes...)
-	if err != nil {
-		return nil, err
-	}
+func newServer(cluster *temporalrank.Cluster, workers int, timeout time.Duration) (*server, error) {
 	s := &server{
-		db:      db,
-		planner: planner,
-		indexes: planner.Indexes(),
-		exec:    engine.NewQuerier(planner, workers),
+		cluster: cluster,
+		exec:    engine.NewQuerier(cluster, workers),
 		mux:     http.NewServeMux(),
 		timeout: timeout,
 		start:   time.Now(),
+	}
+	for _, p := range cluster.Planners() {
+		if p == nil {
+			continue
+		}
+		if ixs := p.Indexes(); len(ixs) > 0 {
+			s.primary = ixs[0]
+		}
+		break
 	}
 	s.mux.HandleFunc("GET /query", s.handleQuery(""))
 	s.mux.HandleFunc("GET /topk", s.handleQuery(temporalrank.AggSum))
@@ -65,15 +73,6 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Close stops the worker pool (after the HTTP server has drained).
 func (s *server) Close() { s.exec.Close() }
-
-// primaryIndex is the index appends and /score go through; nil when
-// the server runs index-less (pure brute force).
-func (s *server) primaryIndex() *temporalrank.Index {
-	if len(s.indexes) > 0 {
-		return s.indexes[0]
-	}
-	return nil
-}
 
 // queryCtx derives the per-request context, applying the server's
 // timeout so slow scans cannot pin workers forever.
@@ -119,8 +118,8 @@ func (s *server) parseQuery(r *http.Request, fixed temporalrank.Agg) (temporalra
 		if q.Agg == "" {
 			q.Agg = temporalrank.AggSum
 		}
-	} else if ix := s.primaryIndex(); ix != nil {
-		q.MaxEpsilon = ix.Epsilon()
+	} else if s.primary != nil {
+		q.MaxEpsilon = s.primary.Epsilon()
 	}
 	switch q.Agg {
 	case temporalrank.AggSum, temporalrank.AggAvg, temporalrank.AggInstant:
@@ -137,7 +136,7 @@ func (s *server) parseQuery(r *http.Request, fixed temporalrank.Agg) (temporalra
 	// Clamp to the number of objects: a larger k cannot yield more
 	// results, and an unbounded k would size the top-k heap from
 	// attacker input.
-	if m := s.db.NumSeries(); q.K > m {
+	if m := s.cluster.NumSeries(); q.K > m {
 		q.K = m
 	}
 	if q.Agg == temporalrank.AggInstant {
@@ -217,9 +216,10 @@ type scoreResponse struct {
 	Exact  bool    `json:"exact"`
 }
 
-// handleScore serves one object's σ(t1,t2) through the primary index.
-// An approximate index that has no estimate for the object answers 404
-// with code "not_materialized" — never a silent 0.
+// handleScore serves one object's σ(t1,t2) through the owning shard's
+// primary index (or shard DB when index-less). An approximate index
+// that has no estimate for the object answers 404 with code
+// "not_materialized" — never a silent 0.
 func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
 	id, err := intParam(r, "id", -1)
 	if err != nil || id < 0 {
@@ -236,18 +236,11 @@ func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ix := s.primaryIndex()
-	var (
-		score  float64
-		method temporalrank.Method
-	)
-	if ix != nil {
-		score, err = ix.Score(id, t1, t2)
-		method = ix.Method()
-	} else {
-		score, err = s.db.Score(id, t1, t2)
-		method = temporalrank.MethodReference
+	method := temporalrank.MethodReference
+	if s.primary != nil {
+		method = s.primary.Method()
 	}
+	score, err := s.cluster.Score(id, t1, t2)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -265,6 +258,11 @@ type appendRequest struct {
 	V  float64 `json:"v"`
 }
 
+// handleAppend routes one segment to its owning shard, where
+// Planner.Append advances the shard DB and every shard index in one
+// consistent step — multi-index servers accept appends now (the old 409
+// restriction existed because a single Index.Append would silently
+// stale its siblings).
 func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	var req appendRequest
 	dec := json.NewDecoder(r.Body)
@@ -273,29 +271,17 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
 		return
 	}
-	ixs := s.indexes
-	switch len(ixs) {
-	case 1:
-		// The single index keeps itself and the DB consistent.
-	case 0:
-		writeError(w, http.StatusConflict, fmt.Errorf("append requires an index"))
-		return
-	default:
-		// Each index tracks its own frontier; appending through one
-		// would silently stale the others.
-		writeError(w, http.StatusConflict,
-			fmt.Errorf("append is only supported with a single index, this server has %d", len(ixs)))
-		return
-	}
-	if err := ixs[0].Append(req.ID, req.T, req.V); err != nil {
+	if err := s.cluster.Append(req.ID, req.T, req.V); err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "t": req.T, "v": req.V, "status": "appended"})
 }
 
-// indexStatsJSON is one index's entry in /stats.
+// indexStatsJSON is one index's entry in /stats. Shard identifies the
+// partition the structure lives on (always 0 on single-node servers).
 type indexStatsJSON struct {
+	Shard      int     `json:"shard"`
 	Method     string  `json:"method"`
 	Epsilon    float64 `json:"epsilon,omitempty"`
 	KMax       int     `json:"kmax,omitempty"`
@@ -305,15 +291,25 @@ type indexStatsJSON struct {
 	DeviceIOs  uint64  `json:"device_ios"`
 }
 
+// shardStatsJSON is one shard's slice of the data.
+type shardStatsJSON struct {
+	Shard    int `json:"shard"`
+	Objects  int `json:"objects"`
+	Segments int `json:"segments"`
+}
+
 // statsResponse is the body of /stats. The top-level index fields
 // mirror the primary index for pre-planner clients; the indexes array
-// covers every registered structure.
+// covers every structure on every shard, and the aggregate fields sum
+// over them.
 type statsResponse struct {
 	Method        string           `json:"method"`
+	Shards        int              `json:"shards"`
 	Objects       int              `json:"objects"`
 	Segments      int              `json:"segments"`
 	DomainStart   float64          `json:"domain_start"`
 	DomainEnd     float64          `json:"domain_end"`
+	PerShard      []shardStatsJSON `json:"per_shard"`
 	Indexes       []indexStatsJSON `json:"indexes"`
 	IndexPages    int              `json:"index_pages"`
 	IndexBytes    int64            `json:"index_bytes"`
@@ -329,11 +325,13 @@ type statsResponse struct {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	est := s.exec.Stats()
+	cst := s.cluster.Stats()
 	out := statsResponse{
-		Objects:       s.db.NumSeries(),
-		Segments:      s.db.NumSegments(),
-		DomainStart:   s.db.Start(),
-		DomainEnd:     s.db.End(),
+		Shards:        cst.Shards,
+		Objects:       cst.Objects,
+		Segments:      cst.Segments,
+		DomainStart:   s.cluster.Start(),
+		DomainEnd:     s.cluster.End(),
 		Workers:       s.exec.Workers(),
 		Queries:       est.Queries,
 		QueryErrors:   est.Errors,
@@ -341,23 +339,33 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		QueryTimeNS:   int64(est.TotalTime),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
-	for i, ix := range s.indexes {
-		ist := ix.Stats()
-		out.Indexes = append(out.Indexes, indexStatsJSON{
-			Method:     ist.MethodName,
-			Epsilon:    ix.Epsilon(),
-			KMax:       ix.KMax(),
-			IndexPages: ist.Pages,
-			IndexBytes: ist.Bytes,
-			BlockSize:  ist.BlockSize,
-			DeviceIOs:  ist.DeviceIOs,
+	planners := s.cluster.Planners()
+	for shard, sst := range cst.PerShard {
+		out.PerShard = append(out.PerShard, shardStatsJSON{
+			Shard: shard, Objects: sst.Objects, Segments: sst.Segments,
 		})
-		if i == 0 {
-			out.Method = ist.MethodName
-			out.IndexPages = ist.Pages
-			out.IndexBytes = ist.Bytes
-			out.BlockSize = ist.BlockSize
-			out.DeviceIOs = ist.DeviceIOs
+		if planners[shard] == nil {
+			continue
+		}
+		for _, ix := range planners[shard].Indexes() {
+			ist := ix.Stats()
+			out.Indexes = append(out.Indexes, indexStatsJSON{
+				Shard:      shard,
+				Method:     ist.MethodName,
+				Epsilon:    ix.Epsilon(),
+				KMax:       ix.KMax(),
+				IndexPages: ist.Pages,
+				IndexBytes: ist.Bytes,
+				BlockSize:  ist.BlockSize,
+				DeviceIOs:  ist.DeviceIOs,
+			})
+			if out.Method == "" {
+				out.Method = ist.MethodName
+				out.BlockSize = ist.BlockSize
+			}
+			out.IndexPages += ist.Pages
+			out.IndexBytes += ist.Bytes
+			out.DeviceIOs += ist.DeviceIOs
 		}
 	}
 	if out.Method == "" {

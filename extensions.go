@@ -39,10 +39,33 @@ const (
 // ignored by SegmentConnect. An L∞ budget of δ perturbs any aggregate
 // σ_i(t1,t2) by at most δ·(t2−t1).
 func NewDBFromSamples(objects [][]Sample, method SegmentationMethod, errBudget float64) (*DB, error) {
+	inputs, err := segmentObjects(objects, method, errBudget)
+	if err != nil {
+		return nil, err
+	}
+	series := make([]*tsdata.Series, len(inputs))
+	for i, in := range inputs {
+		s, err := tsdata.NewSeries(tsdata.SeriesID(i), in.Times, in.Values)
+		if err != nil {
+			return nil, fmt.Errorf("temporalrank: object %d: %w", i, err)
+		}
+		series[i] = s
+	}
+	ds, err := tsdata.NewDataset(series)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{ds: ds}, nil
+}
+
+// segmentObjects converts raw per-object samples to piecewise-linear
+// SeriesInput via the chosen segmentation — the shared front half of
+// NewDBFromSamples and NewClusterFromSamples.
+func segmentObjects(objects [][]Sample, method SegmentationMethod, errBudget float64) ([]SeriesInput, error) {
 	if len(objects) == 0 {
 		return nil, fmt.Errorf("temporalrank: no objects given")
 	}
-	series := make([]*tsdata.Series, len(objects))
+	inputs := make([]SeriesInput, len(objects))
 	for i, samples := range objects {
 		var (
 			res pla.Result
@@ -66,17 +89,9 @@ func NewDBFromSamples(objects [][]Sample, method SegmentationMethod, errBudget f
 		if err != nil {
 			return nil, fmt.Errorf("temporalrank: object %d: %w", i, err)
 		}
-		s, err := tsdata.NewSeries(tsdata.SeriesID(i), res.Times, res.Values)
-		if err != nil {
-			return nil, fmt.Errorf("temporalrank: object %d: %w", i, err)
-		}
-		series[i] = s
+		inputs[i] = SeriesInput{Times: res.Times, Values: res.Values}
 	}
-	ds, err := tsdata.NewDataset(series)
-	if err != nil {
-		return nil, err
-	}
-	return &DB{ds: ds}, nil
+	return inputs, nil
 }
 
 // TopKAvg ranks by the average score avg_i(t1,t2) = σ_i(t1,t2)/(t2−t1).

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"temporalrank"
+	"temporalrank/internal/scatter"
 )
 
 // Op names a query operation.
@@ -300,31 +301,25 @@ func (e *Executor) Close() {
 }
 
 // BuildIndexes constructs one index per option concurrently (up to
-// workers at once; defaults to GOMAXPROCS when workers <= 0). The
-// result slice is parallel to opts. On any failure the first error is
-// returned after all builds settle.
+// workers at once; defaults to GOMAXPROCS when workers <= 0) over the
+// shared scatter pool. The result slice is parallel to opts. The first
+// build failure wins: in-flight builds finish, queued ones are skipped,
+// and that error is returned.
 func BuildIndexes(db *temporalrank.DB, opts []temporalrank.Options, workers int) ([]*temporalrank.Index, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	ixs := make([]*temporalrank.Index, len(opts))
-	errs := make([]error, len(opts))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i := range opts {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			ixs[i], errs[i] = db.BuildIndex(opts[i])
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
+	err := scatter.Run(context.Background(), len(opts), workers, func(_ context.Context, i int) error {
+		ix, err := db.BuildIndex(opts[i])
 		if err != nil {
-			return nil, fmt.Errorf("engine: build %q: %w", opts[i].Method, err)
+			return fmt.Errorf("engine: build %q: %w", opts[i].Method, err)
 		}
+		ixs[i] = ix
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ixs, nil
 }

@@ -99,6 +99,63 @@ func (h *minHeap) Pop() interface{} {
 	return x
 }
 
+// --- k-way merge ------------------------------------------------------
+
+// Merge k-way merges per-partition top-k lists into a global top-k.
+// Every input list must already be in the package order (descending
+// score, ties broken by ascending ID — what Collector.Results and
+// SortItems produce), and the lists are assumed ID-disjoint (disjoint
+// partitions of one object universe). The output is the best k items
+// overall, in the same deterministic order, so merging the per-shard
+// answers of a partitioned dataset yields exactly the list a single
+// node would have produced.
+func Merge(k int, lists ...[]Item) []Item {
+	if k < 1 {
+		k = 1
+	}
+	h := make(mergeHeap, 0, len(lists))
+	for _, l := range lists {
+		if len(l) > 0 {
+			h = append(h, cursor{list: l})
+		}
+	}
+	heap.Init(&h)
+	out := make([]Item, 0, k)
+	for len(out) < k && len(h) > 0 {
+		c := &h[0]
+		out = append(out, c.list[c.pos])
+		c.pos++
+		if c.pos == len(c.list) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
+}
+
+// cursor is one partially-consumed input list of a Merge.
+type cursor struct {
+	list []Item
+	pos  int
+}
+
+// mergeHeap orders cursors by their current head so the best-ranked
+// head is always at the root.
+type mergeHeap []cursor
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return less(h[j].list[h[j].pos], h[i].list[h[i].pos]) }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(cursor)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
 // --- quality metrics -------------------------------------------------
 
 // PrecisionRecall returns |approx ∩ exact| / k. Since both sets have

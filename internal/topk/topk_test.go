@@ -128,6 +128,88 @@ func TestSortItemsStableOrder(t *testing.T) {
 	}
 }
 
+// TestMergeMatchesGlobalCollector: partitioning items arbitrarily,
+// collecting per partition and merging must equal one global collector —
+// the invariant the sharded Cluster relies on.
+func TestMergeMatchesGlobalCollector(t *testing.T) {
+	f := func(seed int64, rawK uint8, rawParts uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(rawK)%20 + 1
+		parts := int(rawParts)%8 + 1
+		n := 1 + rng.Intn(300)
+		global := NewCollector(k)
+		colls := make([]*Collector, parts)
+		for p := range colls {
+			colls[p] = NewCollector(k)
+		}
+		for i := 0; i < n; i++ {
+			// Coarse scores force cross-partition ties.
+			s := float64(rng.Intn(25))
+			global.Add(tsdata.SeriesID(i), s)
+			colls[rng.Intn(parts)].Add(tsdata.SeriesID(i), s)
+		}
+		lists := make([][]Item, parts)
+		for p, c := range colls {
+			lists[p] = c.Results()
+		}
+		got := Merge(k, lists...)
+		want := global.Results()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeDuplicateScores is the regression test for deterministic
+// tie-breaking: equal scores scattered across partitions must come back
+// ordered by ascending ID no matter how the partitions were formed.
+func TestMergeDuplicateScores(t *testing.T) {
+	splits := [][][]Item{
+		{{{ID: 4, Score: 7}, {ID: 1, Score: 2}}, {{ID: 0, Score: 7}, {ID: 3, Score: 7}}, {{ID: 2, Score: 7}}},
+		{{{ID: 0, Score: 7}, {ID: 1, Score: 2}}, {{ID: 2, Score: 7}, {ID: 3, Score: 7}, {ID: 4, Score: 7}}},
+		{{{ID: 0, Score: 7}, {ID: 2, Score: 7}, {ID: 3, Score: 7}, {ID: 4, Score: 7}, {ID: 1, Score: 2}}},
+	}
+	want := []Item{{ID: 0, Score: 7}, {ID: 2, Score: 7}, {ID: 3, Score: 7}, {ID: 4, Score: 7}}
+	for i, lists := range splits {
+		got := Merge(4, lists...)
+		if len(got) != len(want) {
+			t.Fatalf("split %d: len = %d, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("split %d rank %d = %+v, want %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	if got := Merge(3); len(got) != 0 {
+		t.Errorf("no lists: %v, want empty", got)
+	}
+	if got := Merge(3, nil, []Item{}); len(got) != 0 {
+		t.Errorf("empty lists: %v, want empty", got)
+	}
+	one := []Item{{ID: 1, Score: 5}, {ID: 2, Score: 3}}
+	if got := Merge(0, one); len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("k clamp: %v, want just ID 1", got)
+	}
+	// k larger than the union: everything comes back, still ordered.
+	got := Merge(10, []Item{{ID: 1, Score: 5}}, []Item{{ID: 0, Score: 5}})
+	if len(got) != 2 || got[0].ID != 0 || got[1].ID != 1 {
+		t.Errorf("k beyond union: %v", got)
+	}
+}
+
 func TestPrecisionRecall(t *testing.T) {
 	exact := []Item{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}}
 	approx := []Item{{ID: 2}, {ID: 3}, {ID: 9}, {ID: 1}}

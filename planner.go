@@ -71,6 +71,46 @@ func (p *Planner) Indexes() []*Index {
 	return out
 }
 
+// Append extends object id with a new segment ending at (t, v) across
+// the DB and every registered index in one consistent step — the
+// multi-index ingest path. Each index tracks its own per-object
+// frontier, so appending through a single Index would silently stale
+// its siblings; Append instead locks every index (in registration
+// order) plus the DB, applies the dataset mutation exactly once, and
+// advances each index's structures. With no indexes it degrades to
+// DB.Append.
+//
+// The segment is validated against the dataset frontier before any
+// structure is touched, so the common failure (t not past the object's
+// end) leaves everything unchanged. A mid-flight structural failure is
+// returned as-is; treat the planner's index set as suspect if one ever
+// occurs.
+func (p *Planner) Append(id int, t, v float64) error {
+	// Hold the planner lock across the whole append: an AddIndex racing
+	// a snapshot-then-append would leave the new index silently missing
+	// the segment — exactly the staleness this method exists to prevent.
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ixs := p.indexes
+	if len(ixs) == 0 {
+		return p.db.Append(id, t, v)
+	}
+	// Lock ordering: planner mu, then every index mu in registration
+	// order, then db.mu — the same "planner before index" order Plan
+	// uses and the same "index before DB" order Index.Append uses.
+	for _, ix := range ixs {
+		ix.mu.Lock()
+	}
+	defer func() {
+		for i := len(ixs) - 1; i >= 0; i-- {
+			ixs[i].mu.Unlock()
+		}
+	}()
+	p.db.mu.Lock()
+	defer p.db.mu.Unlock()
+	return appendLocked(p.db, ixs, id, t, v)
+}
+
 // Plan picks the Querier that will answer q, without running it:
 //
 //   - AggInstant goes to an EXACT3 index (native stabbing query) when

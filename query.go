@@ -129,9 +129,12 @@ type Answer struct {
 	// worker pool excluded).
 	Latency time.Duration
 	// IOs is the device IO delta observed over the call; 0 for the
-	// in-memory brute force. The device is shared by all in-flight
-	// queries, so under concurrency overlapping queries' IOs may be
-	// attributed to each other.
+	// in-memory brute force. A single index's device is shared by all
+	// in-flight queries, so under concurrency overlapping queries' IOs
+	// may be attributed to each other. Cluster answers avoid the
+	// cross-shard version of this: each shard's delta is snapshotted
+	// inside that shard's goroutine against its own private device, and
+	// the merged IOs value is the sum of those per-shard deltas.
 	IOs uint64
 }
 
@@ -147,6 +150,7 @@ var (
 	_ Querier = (*DB)(nil)
 	_ Querier = (*Index)(nil)
 	_ Querier = (*Planner)(nil)
+	_ Querier = (*Cluster)(nil)
 )
 
 // ctxCheckStride bounds how many series a brute-force scan processes

@@ -191,6 +191,16 @@ func (db *DB) Score(id int, t1, t2 float64) (float64, error) {
 	return db.ds.Series(tsdata.SeriesID(id)).Range(t1, t2), nil
 }
 
+// Append extends object id directly on the database — the ingest path
+// for index-less DBs (and Cluster shards running pure brute force). A
+// DB with indexes must append through Index.Append or Planner.Append
+// instead, so the index structures advance with the data.
+func (db *DB) Append(id int, t, v float64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return appendLocked(db, nil, id, t, v)
+}
+
 // TopK computes the exact answer by brute force over the in-memory
 // data — the reference all indexes are measured against.
 //
@@ -347,27 +357,60 @@ func (ix *Index) Append(id int, t, v float64) error {
 	defer ix.mu.Unlock()
 	ix.db.mu.Lock()
 	defer ix.db.mu.Unlock()
-	if id < 0 || id >= ix.db.ds.NumSeries() {
+	return appendLocked(ix.db, []*Index{ix}, id, t, v)
+}
+
+// appendAppliedMethod is satisfied by the approximate index structures:
+// AppendApplied updates frontiers, mass accounting, and the amortized
+// rebuild for a segment the caller already applied to the shared
+// dataset. It is what lets several indexes over one dataset absorb the
+// same append without mutating the dataset more than once.
+type appendAppliedMethod interface {
+	AppendApplied(id tsdata.SeriesID, t, v float64) error
+}
+
+// appendLocked applies one append across the dataset and every index in
+// ixs, mutating the dataset exactly once. Callers hold each index's mu
+// (in slice order) and db.mu. Approximate structures own the dataset
+// mutation, so the first one performs it and the rest take the
+// AppendApplied path; exact structures never touch the dataset, which
+// is written directly when no approximate index did.
+func appendLocked(db *DB, ixs []*Index, id int, t, v float64) error {
+	if id < 0 || id >= db.ds.NumSeries() {
 		return fmt.Errorf("temporalrank: %w: %d", ErrUnknownSeries, id)
 	}
-	if core.IsApprox(core.MethodName(ix.m.Name())) {
-		// Approximate indexes own the dataset mutation (they track mass
-		// for the amortized rebuild), but refresh the dataset aggregates
-		// here so DB.End()/NumSegments() reflect the append immediately
-		// rather than only after the next rebuild.
-		if err := ix.m.Append(tsdata.SeriesID(id), t, v); err != nil {
+	// Validate the segment against the dataset frontier up front so a
+	// bad append cannot advance some indexes and leave others behind.
+	s := db.ds.Series(tsdata.SeriesID(id))
+	seg := tsdata.Segment{T1: s.End(), T2: t, V1: s.VertexValue(s.NumSegments()), V2: v}
+	if err := seg.Validate(); err != nil {
+		return err
+	}
+	applied := false
+	for _, ix := range ixs {
+		var err error
+		if core.IsApprox(core.MethodName(ix.m.Name())) && applied {
+			aa, ok := ix.m.(appendAppliedMethod)
+			if !ok {
+				return fmt.Errorf("temporalrank: index %s cannot share an applied append", ix.Method())
+			}
+			err = aa.AppendApplied(tsdata.SeriesID(id), t, v)
+		} else {
+			err = ix.m.Append(tsdata.SeriesID(id), t, v)
+			if core.IsApprox(core.MethodName(ix.m.Name())) {
+				applied = true
+			}
+		}
+		if err != nil {
 			return err
 		}
-		ix.db.ds.Refresh()
-		return nil
 	}
-	if err := ix.m.Append(tsdata.SeriesID(id), t, v); err != nil {
-		return err
+	if !applied {
+		if err := db.ds.Series(tsdata.SeriesID(id)).Append(t, v); err != nil {
+			return err
+		}
 	}
-	if err := ix.db.ds.Series(tsdata.SeriesID(id)).Append(t, v); err != nil {
-		return err
-	}
-	ix.db.ds.Refresh()
+	db.ds.Refresh()
 	return nil
 }
 
