@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 
+	"temporalrank/internal/qcache"
 	"temporalrank/internal/scatter"
 	"temporalrank/internal/topk"
 	"temporalrank/internal/tsdata"
@@ -55,6 +57,12 @@ type Cluster struct {
 	// position inside that shard's DB. Immutable after construction.
 	shardOf []int
 	localOf []int
+	// cache is the cluster-level result cache (nil when disabled): it
+	// stores merged answers, so a repeated query skips the scatter AND
+	// the k-way merge. Entries are keyed by the sum of the shard DBs'
+	// data versions, which grows with every append on any shard — stale
+	// merged answers are unreachable by construction.
+	cache *qcache.Cache[queryKey, Answer]
 }
 
 // clusterShard is one partition: an independent single-node stack. db
@@ -91,6 +99,12 @@ type ClusterOptions struct {
 	// (default GOMAXPROCS). Construction always parallelizes across
 	// GOMAXPROCS regardless.
 	Workers int
+	// ResultCache, when > 0, attaches a versioned result cache of that
+	// many entries to Run: repeated identical queries are answered from
+	// the stored merged answer, and concurrent identical queries
+	// coalesce into one scatter. Appends on any shard advance the
+	// version, so cached answers are never stale. 0 disables caching.
+	ResultCache int
 }
 
 // NewCluster validates and assembles a sharded database from raw
@@ -118,6 +132,9 @@ func NewCluster(series []SeriesInput, opts ClusterOptions) (*Cluster, error) {
 		shards:  make([]*clusterShard, n),
 		shardOf: make([]int, len(series)),
 		localOf: make([]int, len(series)),
+	}
+	if opts.ResultCache > 0 {
+		c.cache = qcache.New[queryKey, Answer](opts.ResultCache)
 	}
 	inputs := make([][]SeriesInput, n)
 	for i := range c.shards {
@@ -280,16 +297,99 @@ func (c *Cluster) Planners() []*Planner {
 	return out
 }
 
+// version is the cluster's data version: the sum of the shard DBs'
+// append counters. Each counter is monotone and every append (through
+// Cluster.Append or directly through a shard planner) bumps exactly
+// one, so the sum strictly increases with every mutation — the property
+// the result cache keys on.
+func (c *Cluster) version() uint64 {
+	var v uint64
+	for _, sh := range c.shards {
+		if sh.db != nil {
+			v += sh.db.version.Load()
+		}
+	}
+	return v
+}
+
+// CacheStats returns the cluster result cache's counters; ok is false
+// when ClusterOptions.ResultCache was 0.
+func (c *Cluster) CacheStats() (stats CacheStats, ok bool) {
+	if c.cache == nil {
+		return CacheStats{}, false
+	}
+	s := c.cache.Stats()
+	return CacheStats{Hits: s.Hits, Misses: s.Misses, Coalesced: s.Coalesced}, true
+}
+
 // Run implements Querier by scatter-gather: every non-empty shard
 // answers q through its own planner on a bounded worker pool
 // (first-error-wins, context-cancellable), and the per-shard top-k
-// lists are merged deterministically. See the type docs for the merged
-// Answer semantics.
+// lists are merged deterministically. With ClusterOptions.ResultCache
+// set, repeated identical queries at the same data version are served
+// from the stored merged answer and concurrent identical queries
+// coalesce into one scatter. See the type docs for the merged Answer
+// semantics.
 func (c *Cluster) Run(ctx context.Context, q Query) (Answer, error) {
 	q = q.withDefaults()
 	if err := q.Validate(); err != nil {
 		return Answer{}, err
 	}
+	if c.cache == nil {
+		return c.run(ctx, q)
+	}
+	// Version is loaded before the scatter: an append landing mid-run
+	// at worst wastes the entry (stored under the pre-append version no
+	// future caller loads), never serves stale data.
+	ans, _, err := c.cache.Do(ctx, q.cacheKey(), c.version(), func() (Answer, error) {
+		return c.run(ctx, q)
+	})
+	return ans, err
+}
+
+// gather is one Run's scatter scratch: per-shard answers, remapped
+// top-k lists, and the answered mask. Pooled — the slices are reused
+// across Runs with their backing arrays intact.
+type gather struct {
+	answers  []Answer
+	lists    [][]topk.Item
+	answered []bool
+}
+
+var gatherPool = sync.Pool{New: func() any { return new(gather) }}
+
+// getGather returns a zeroed gather sized for n shards.
+func getGather(n int) *gather {
+	g := gatherPool.Get().(*gather)
+	if cap(g.answers) < n {
+		g.answers = make([]Answer, n)
+		g.lists = make([][]topk.Item, n)
+		g.answered = make([]bool, n)
+		return g
+	}
+	g.answers = g.answers[:n]
+	g.lists = g.lists[:n]
+	g.answered = g.answered[:n]
+	for i := 0; i < n; i++ {
+		g.answers[i] = Answer{}
+		g.lists[i] = nil
+		g.answered[i] = false
+	}
+	return g
+}
+
+// putGather clears the result references (so pooled scratch does not
+// pin per-query slices) and returns g to the pool.
+func putGather(g *gather) {
+	for i := range g.answers {
+		g.answers[i] = Answer{}
+		g.lists[i] = nil
+	}
+	gatherPool.Put(g)
+}
+
+// run executes one scatter-gather (the uncached Run body).
+func (c *Cluster) run(ctx context.Context, q Query) (Answer, error) {
 	// Single-shard fast path: local IDs equal global IDs (everything
 	// routed to shard 0) and there is nothing to merge, so the shard
 	// planner's answer is already the cluster answer — no scatter
@@ -297,9 +397,8 @@ func (c *Cluster) Run(ctx context.Context, q Query) (Answer, error) {
 	if len(c.shards) == 1 && c.shards[0].db != nil {
 		return c.shards[0].planner.Run(ctx, q)
 	}
-	answers := make([]Answer, len(c.shards))
-	lists := make([][]topk.Item, len(c.shards))
-	answered := make([]bool, len(c.shards))
+	g := getGather(len(c.shards))
+	defer putGather(g)
 	err := scatter.Run(ctx, len(c.shards), c.queryWorkers(), func(ctx context.Context, i int) error {
 		sh := c.shards[i]
 		if sh.db == nil {
@@ -318,24 +417,24 @@ func (c *Cluster) Run(ctx context.Context, q Query) (Answer, error) {
 		for j, r := range ans.Results {
 			items[j] = topk.Item{ID: tsdata.SeriesID(sh.global[r.ID]), Score: r.Score}
 		}
-		lists[i] = items
-		answers[i] = ans
-		answered[i] = true
+		g.lists[i] = items
+		g.answers[i] = ans
+		g.answered[i] = true
 		return nil
 	})
 	if err != nil {
 		return Answer{}, err
 	}
 	merged := Answer{
-		Results: toResults(topk.Merge(q.K, lists...)),
+		Results: toResults(topk.Merge(q.K, g.lists...)),
 		Exact:   true,
 	}
 	first := true
-	for i := range answers {
-		if !answered[i] {
+	for i := range g.answers {
+		if !g.answered[i] {
 			continue
 		}
-		ans := answers[i]
+		ans := g.answers[i]
 		if first {
 			merged.Method = ans.Method
 			first = false

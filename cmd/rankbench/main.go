@@ -8,12 +8,20 @@
 //	rankbench -fig all -m 2000        # the whole evaluation, bigger data
 //	rankbench -fig updates -queries 20
 //	rankbench -cluster-bench BENCH_cluster.json   # 1- vs 8-shard scatter-gather
+//	rankbench -serve-bench BENCH_serve.json -serve-concurrency 8
 //
 // Figures: 11 12 13 14 15 16 17 18 19 20 updates ablations all
 //
 // -cluster-bench skips the figures and instead measures the sharded
 // Cluster query path (ops/sec and p50 latency at 1 and 8 shards),
 // writing the JSON report CI uploads as a perf-trajectory artifact.
+//
+// -serve-bench measures the serving read path instead: a zipfian
+// repeated-query workload at -serve-concurrency clients through a
+// Planner, uncached versus result-cached (ops/sec, p50/p99 latency,
+// cache hit ratio), plus the lock-striped buffer pool against the seed
+// single-mutex pool on a concurrent read workload. The report is the
+// BENCH_serve.json trajectory artifact.
 package main
 
 import (
@@ -39,6 +47,12 @@ func main() {
 		frac      = flag.Float64("frac", 0, "query interval as fraction of T (0 = default)")
 		blockSize = flag.Int("block", 0, "device block size in bytes (0 = 4096)")
 		cbench    = flag.String("cluster-bench", "", "write the 1- vs 8-shard cluster benchmark to this JSON file instead of running figures")
+		sbench    = flag.String("serve-bench", "", "write the serving read-path benchmark (zipfian repeated queries, cached vs uncached, buffer pool) to this JSON file instead of running figures")
+		sconc     = flag.Int("serve-concurrency", 8, "concurrent clients for -serve-bench")
+		squeries  = flag.Int("serve-queries", 4000, "total queries per -serve-bench run")
+		sdistinct = flag.Int("serve-distinct", 64, "distinct query templates for -serve-bench")
+		szipf     = flag.Float64("serve-zipf", 1.2, "zipf skew for -serve-bench query repetition (> 1)")
+		scache    = flag.Int("serve-cache", 256, "result cache entries for the cached -serve-bench run")
 	)
 	flag.Parse()
 
@@ -74,6 +88,20 @@ func main() {
 
 	if *cbench != "" {
 		if err := runClusterBench(*cbench, p); err != nil {
+			fmt.Fprintln(os.Stderr, "rankbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sbench != "" {
+		cfg := serveBenchConfig{
+			Concurrency: *sconc,
+			Queries:     *squeries,
+			Distinct:    *sdistinct,
+			ZipfS:       *szipf,
+			CacheSize:   *scache,
+		}
+		if err := runServeBench(*sbench, p, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "rankbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,331 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"temporalrank"
+	"temporalrank/internal/blockio"
+	"temporalrank/internal/exp"
+	"temporalrank/internal/gen"
+)
+
+// Pool benchmark shape, shared by measurePoolParallel and fillPool so
+// the working set driven and the working set filled cannot diverge.
+const (
+	poolBlockSize = 128
+	poolPages     = 2048
+	poolReads     = 1_000_000
+	poolTrials    = 5
+)
+
+// serveBenchConfig shapes the -serve-bench workload.
+type serveBenchConfig struct {
+	Concurrency int     // concurrent clients
+	Queries     int     // total queries per run
+	Distinct    int     // distinct query templates
+	ZipfS       float64 // zipf skew (> 1); higher = more repetition
+	CacheSize   int     // result cache entries for the cached run
+}
+
+// serveBenchRun is one configuration's measurement.
+type serveBenchRun struct {
+	Name          string  `json:"name"`
+	Queries       int     `json:"queries"`
+	Concurrency   int     `json:"concurrency"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	P50LatencyNS  int64   `json:"p50_latency_ns"`
+	P99LatencyNS  int64   `json:"p99_latency_ns"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	Coalesced     uint64  `json:"coalesced"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+}
+
+// poolBenchResult records the lock-striped buffer pool against the seed
+// single-mutex design on the same concurrent read workload.
+type poolBenchResult struct {
+	Capacity         int     `json:"capacity_pages"`
+	Readers          int     `json:"readers"`
+	ReadsPerReader   int     `json:"reads_per_reader"`
+	SeedOpsPerSec    float64 `json:"seed_ops_per_sec"`
+	ShardedOpsPerSec float64 `json:"sharded_ops_per_sec"`
+	Shards           int     `json:"shards"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// serveBenchReport is BENCH_serve.json: the serving read-path
+// trajectory artifact CI uploads per commit.
+type serveBenchReport struct {
+	GeneratedUnix int64           `json:"generated_unix"`
+	GoMaxProcs    int             `json:"gomaxprocs"`
+	NumCPU        int             `json:"num_cpu"`
+	Objects       int             `json:"objects"`
+	AvgSegments   int             `json:"avg_segments"`
+	K             int             `json:"k"`
+	Distinct      int             `json:"distinct_queries"`
+	ZipfS         float64         `json:"zipf_s"`
+	Runs          []serveBenchRun `json:"runs"`
+	BufferPool    poolBenchResult `json:"buffer_pool"`
+}
+
+// runServeBench replays a zipfian repeated-query workload (the shape a
+// serving deployment sees: a hot head of popular queries and a long
+// tail) against one Planner, uncached and cached, then benchmarks the
+// buffer pool's parallel read path against the seed single-mutex
+// design. Results land in path as JSON.
+func runServeBench(path string, p exp.Params, cfg serveBenchConfig) error {
+	if cfg.ZipfS <= 1 {
+		return fmt.Errorf("-serve-zipf must be > 1 (rand.NewZipf's domain), got %g", cfg.ZipfS)
+	}
+	if cfg.Distinct < 1 {
+		return fmt.Errorf("-serve-distinct must be >= 1, got %d", cfg.Distinct)
+	}
+	if cfg.Concurrency < 1 {
+		return fmt.Errorf("-serve-concurrency must be >= 1, got %d", cfg.Concurrency)
+	}
+	if cfg.Queries < cfg.Concurrency {
+		return fmt.Errorf("-serve-queries (%d) must be >= -serve-concurrency (%d)", cfg.Queries, cfg.Concurrency)
+	}
+	ds, err := gen.RandomWalk(gen.RandomWalkConfig{M: p.M, Navg: p.Navg, Seed: p.Seed, Span: 1000})
+	if err != nil {
+		return err
+	}
+	db := temporalrank.NewDBFromDataset(ds)
+	ix, err := db.BuildIndex(temporalrank.Options{
+		Method:      temporalrank.MethodExact3,
+		CacheBlocks: 1024,
+	})
+	if err != nil {
+		return err
+	}
+	planner, err := temporalrank.NewPlanner(db, ix)
+	if err != nil {
+		return err
+	}
+
+	// Distinct query templates drawn zipfian: rank 0 dominates, exactly
+	// the repetition profile a result cache exists for.
+	rng := rand.New(rand.NewSource(p.Seed))
+	span := db.Span()
+	templates := make([]temporalrank.Query, cfg.Distinct)
+	for i := range templates {
+		t1 := db.Start() + rng.Float64()*span*(1-p.IntervalFrac)
+		templates[i] = temporalrank.SumQuery(p.K, t1, t1+span*p.IntervalFrac)
+	}
+
+	report := serveBenchReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Objects:       p.M,
+		AvgSegments:   p.Navg,
+		K:             p.K,
+		Distinct:      cfg.Distinct,
+		ZipfS:         cfg.ZipfS,
+	}
+	for _, cached := range []bool{false, true} {
+		name := "uncached"
+		if cached {
+			planner.EnableResultCache(cfg.CacheSize)
+			name = "cached"
+		} else {
+			planner.EnableResultCache(0)
+		}
+		run, err := measureServe(planner, templates, name, cfg)
+		if err != nil {
+			return err
+		}
+		report.Runs = append(report.Runs, run)
+	}
+	// The pool comparison oversubscribes readers (2x the serve clients,
+	// at least 16): the seed pool's weakness is lock contention, which
+	// only materializes under thread pressure.
+	poolReaders := 2 * cfg.Concurrency
+	if poolReaders < 16 {
+		poolReaders = 16
+	}
+	report.BufferPool = measurePoolParallel(poolReaders)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// measureServe drives cfg.Queries zipfian queries from cfg.Concurrency
+// goroutines and summarizes throughput and tail latency.
+func measureServe(planner *temporalrank.Planner, templates []temporalrank.Query, name string, cfg serveBenchConfig) (serveBenchRun, error) {
+	ctx := context.Background()
+	perClient := cfg.Queries / cfg.Concurrency
+	lat := make([][]time.Duration, cfg.Concurrency)
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Concurrency)
+	start := time.Now()
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(templates)-1))
+			mine := make([]time.Duration, perClient)
+			for i := range mine {
+				q := templates[zipf.Uint64()]
+				t0 := time.Now()
+				if _, err := planner.Run(ctx, q); err != nil {
+					errs <- fmt.Errorf("serve bench %s: %w", name, err)
+					return
+				}
+				mine[i] = time.Since(t0)
+			}
+			lat[c] = mine
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return serveBenchRun{}, err
+	}
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	run := serveBenchRun{
+		Name:        name,
+		Queries:     len(all),
+		Concurrency: cfg.Concurrency,
+		OpsPerSec:   float64(len(all)) / elapsed.Seconds(),
+	}
+	if len(all) > 0 {
+		run.P50LatencyNS = int64(all[len(all)/2])
+		run.P99LatencyNS = int64(all[len(all)*99/100])
+	}
+	if st, ok := planner.CacheStats(); ok {
+		run.CacheHits, run.CacheMisses, run.Coalesced = st.Hits, st.Misses, st.Coalesced
+		run.CacheHitRatio = st.HitRatio()
+	}
+	run.AllocsPerOp = measureAllocsPerOp(planner, templates[0])
+	return run, nil
+}
+
+// measureAllocsPerOp reports heap allocations per repeated query — the
+// "allocation diet" metric. Measured single-threaded over the hottest
+// template so the Mallocs delta is attributable.
+func measureAllocsPerOp(planner *temporalrank.Planner, q temporalrank.Query) float64 {
+	const ops = 2000
+	ctx := context.Background()
+	// Warm pools and cache so steady state is measured.
+	for i := 0; i < 50; i++ {
+		if _, err := planner.Run(ctx, q); err != nil {
+			return -1
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < ops; i++ {
+		if _, err := planner.Run(ctx, q); err != nil {
+			return -1
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / ops
+}
+
+// measurePoolParallel compares the sharded pool with the seed
+// single-mutex LRU design on a concurrent fully-resident read workload
+// (the same shape as BenchmarkBufferPoolParallel). Trials are
+// interleaved so machine noise hits both designs, and each design
+// reports its median trial.
+func measurePoolParallel(readers int) poolBenchResult {
+	if readers < 1 {
+		readers = 1
+	}
+	// The striped pool's benefit is hardware parallelism; make sure the
+	// scheduler can actually run the readers in parallel where the
+	// hardware allows.
+	prev := runtime.GOMAXPROCS(0)
+	if readers > prev {
+		runtime.GOMAXPROCS(readers)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	drive := func(read func(id blockio.PageID, buf []byte) error, ids []blockio.PageID) float64 {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				buf := make([]byte, poolBlockSize)
+				x := seed*2862933555777941757 + 3037000493
+				for i := 0; i < poolReads; i++ {
+					x ^= x << 13
+					x ^= x >> 7
+					x ^= x << 17
+					if err := read(ids[x%poolPages], buf); err != nil {
+						panic(err)
+					}
+				}
+			}(uint64(r) + 1)
+		}
+		wg.Wait()
+		return float64(readers*poolReads) / time.Since(start).Seconds()
+	}
+
+	var seedOps, shardedOps []float64
+	shards := 0
+	for t := 0; t < poolTrials; t++ {
+		seed := blockio.NewLegacyBufferPool(blockio.NewMemDevice(poolBlockSize), poolPages)
+		seedOps = append(seedOps, drive(seed.Read, fillPool(seed.Alloc, seed.Write)))
+		pool := blockio.NewBufferPool(blockio.NewMemDevice(poolBlockSize), poolPages)
+		shards = pool.NumShards()
+		shardedOps = append(shardedOps, drive(pool.Read, fillPool(pool.Alloc, pool.Write)))
+	}
+	sort.Float64s(seedOps)
+	sort.Float64s(shardedOps)
+	res := poolBenchResult{
+		Capacity:         poolPages,
+		Readers:          readers,
+		ReadsPerReader:   poolReads,
+		SeedOpsPerSec:    seedOps[poolTrials/2],
+		ShardedOpsPerSec: shardedOps[poolTrials/2],
+		Shards:           shards,
+	}
+	if res.SeedOpsPerSec > 0 {
+		res.Speedup = res.ShardedOpsPerSec / res.SeedOpsPerSec
+	}
+	return res
+}
+
+// fillPool allocates and writes the benchmark working set.
+func fillPool(alloc func() (blockio.PageID, error), write func(blockio.PageID, []byte) error) []blockio.PageID {
+	ids := make([]blockio.PageID, poolPages)
+	for i := range ids {
+		id, err := alloc()
+		if err != nil {
+			panic(err)
+		}
+		ids[i] = id
+		if err := write(id, []byte{byte(i)}); err != nil {
+			panic(err)
+		}
+	}
+	return ids
+}

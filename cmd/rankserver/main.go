@@ -66,15 +66,17 @@ func main() {
 		shards  = flag.Int("shards", 1, "hash-partition the dataset across this many shards")
 		swork   = flag.Int("shard-workers", 0, "per-query shard fan-out bound (0 = GOMAXPROCS; lower it to trade idle latency for less oversubscription under full load)")
 		timeout = flag.Duration("timeout", 10*time.Second, "per-query deadline (0 = none)")
+		rcache  = flag.Int("result-cache", 0, "versioned result cache size in entries (0 = off); repeated identical queries are answered from cache and concurrent identical queries coalesce into one run")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty = off (the default — profiling endpoints are never exposed on the main listener)")
 	)
 	flag.Parse()
-	if err := run(*addr, *data, *binary, *genSpec, *seed, *method, *r, *kmax, *cache, *workers, *build, *shards, *swork, *timeout); err != nil {
+	if err := run(*addr, *data, *binary, *genSpec, *seed, *method, *r, *kmax, *cache, *workers, *build, *shards, *swork, *rcache, *pprof, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "rankserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, data string, binary bool, genSpec string, seed int64, methods string, r, kmax, cache, workers, build, shards, shardWorkers int, timeout time.Duration) error {
+func run(addr, data string, binary bool, genSpec string, seed int64, methods string, r, kmax, cache, workers, build, shards, shardWorkers, resultCache int, pprofAddr string, timeout time.Duration) error {
 	db, err := loadDB(data, binary, genSpec, seed)
 	if err != nil {
 		return err
@@ -101,9 +103,10 @@ func run(addr, data string, binary bool, genSpec string, seed int64, methods str
 	}
 	buildStart := time.Now()
 	cluster, err := temporalrank.NewClusterFromDB(db, temporalrank.ClusterOptions{
-		Shards:  shards,
-		Indexes: opts,
-		Workers: shardWorkers,
+		Shards:      shards,
+		Indexes:     opts,
+		Workers:     shardWorkers,
+		ResultCache: resultCache,
 	})
 	if err != nil {
 		return err
@@ -127,6 +130,16 @@ func run(addr, data string, binary bool, genSpec string, seed int64, methods str
 	}
 	defer srv.Close()
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
+
+	// Opt-in profiling on a side listener, never on the query address.
+	pprofSrv, pprofLn, err := startPprof(pprofAddr)
+	if err != nil {
+		return err
+	}
+	if pprofSrv != nil {
+		log.Printf("pprof on http://%s/debug/pprof/", pprofLn.Addr())
+		defer pprofSrv.Close()
+	}
 
 	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, drain
 	// in-flight requests, then stop the worker pool.

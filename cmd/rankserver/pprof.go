@@ -1,0 +1,39 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// startPprof serves the net/http/pprof endpoints on a dedicated side
+// listener. It is strictly opt-in: an empty addr (the -pprof default)
+// returns (nil, nil, nil) and nothing is registered anywhere — in
+// particular the profiling handlers are never mounted on the query
+// mux, so a production listener cannot leak heap or CPU profiles.
+//
+// The handlers are registered on a private mux rather than through
+// net/http/pprof's DefaultServeMux side effect, keeping the dependency
+// explicit and the main handler clean.
+func startPprof(addr string) (*http.Server, net.Listener, error) {
+	if addr == "" {
+		return nil, nil, nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		// Serve returns ErrServerClosed on Close; anything else means the
+		// side listener died, which must not take the query path down.
+		_ = srv.Serve(ln)
+	}()
+	return srv, ln, nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"temporalrank"
+)
+
+// TestPprofOffByDefault pins the opt-in contract from two sides: the
+// empty -pprof default starts nothing, and the main query handler never
+// serves /debug/pprof/ even when a side listener IS running.
+func TestPprofOffByDefault(t *testing.T) {
+	srv, ln, err := startPprof("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv != nil || ln != nil {
+		t.Fatalf("startPprof(\"\") = (%v, %v), want (nil, nil): profiling must be opt-in", srv, ln)
+	}
+
+	_, _, ts := testServer(t, temporalrank.MethodExact3)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("main listener served /debug/pprof/ with %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPprofSideListener(t *testing.T) {
+	srv, ln, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", ln.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index does not list profiles: %.200s", body)
+	}
+}

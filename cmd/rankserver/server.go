@@ -298,6 +298,18 @@ type shardStatsJSON struct {
 	Segments int `json:"segments"`
 }
 
+// resultCacheJSON is the /stats view of the versioned result cache
+// (present only when the server runs with -result-cache > 0). Hits
+// were answered from a stored result, misses executed the query, and
+// coalesced requests joined another request's identical in-flight
+// query. HitRatio is hits over all lookups.
+type resultCacheJSON struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Coalesced uint64  `json:"coalesced"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
 // statsResponse is the body of /stats. The top-level index fields
 // mirror the primary index for pre-planner clients; the indexes array
 // covers every structure on every shard, and the aggregate fields sum
@@ -310,6 +322,7 @@ type statsResponse struct {
 	DomainStart   float64          `json:"domain_start"`
 	DomainEnd     float64          `json:"domain_end"`
 	PerShard      []shardStatsJSON `json:"per_shard"`
+	ResultCache   *resultCacheJSON `json:"result_cache,omitempty"`
 	Indexes       []indexStatsJSON `json:"indexes"`
 	IndexPages    int              `json:"index_pages"`
 	IndexBytes    int64            `json:"index_bytes"`
@@ -338,6 +351,14 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		BusyWorkers:   est.Busy,
 		QueryTimeNS:   int64(est.TotalTime),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if cs, ok := s.cluster.CacheStats(); ok {
+		out.ResultCache = &resultCacheJSON{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Coalesced: cs.Coalesced,
+			HitRatio:  cs.HitRatio(),
+		}
 	}
 	planners := s.cluster.Planners()
 	for shard, sst := range cst.PerShard {

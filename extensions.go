@@ -149,7 +149,8 @@ func (ix *Index) instantTopK(k int, t float64) ([]Result, error) {
 func (db *DB) InstantTopK(k int, t float64) []Result {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	c := topk.NewCollector(k)
+	c := topk.GetCollector(k)
+	defer c.Release()
 	for _, s := range db.ds.AllSeries() {
 		c.Add(s.ID, s.At(t))
 	}

@@ -151,7 +151,12 @@ func readList(dev blockio.Device, ref listRef, limit int) ([]topk.Item, error) {
 		want = limit
 	}
 	out := make([]topk.Item, 0, want)
-	buf := make([]byte, dev.BlockSize())
+	// List reads run once per (query, breakpoint) on the approximate
+	// read path; recycle the page scratch instead of allocating per
+	// read.
+	bp := blockio.GetPageBuf(dev.BlockSize())
+	defer blockio.PutPageBuf(bp)
+	buf := *bp
 	page := ref.head
 	off := int(ref.off)
 	if err := dev.Read(page, buf); err != nil {

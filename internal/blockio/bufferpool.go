@@ -1,47 +1,159 @@
 package blockio
 
 import (
-	"container/list"
+	"runtime"
 	"sync"
-	"sync/atomic"
 )
 
-// BufferPool wraps a Device with an LRU page cache. Hits are served
-// from memory and do not count as device IOs, matching the OS-cache
-// effect the paper mentions in §5 ("which can be attributed to the
-// caching effect by the OS"). Dirty pages are written back on eviction
-// and on Flush/Close.
+// BufferPool wraps a Device with a lock-striped page cache. Hits are
+// served from memory and do not count as device IOs, matching the
+// OS-cache effect the paper mentions in §5 ("which can be attributed to
+// the caching effect by the OS"). Dirty pages are written back on
+// eviction and on Flush/Close.
 //
-// The pool itself also keeps hit/miss counters so ablation benchmarks
-// can report both logical (uncached) and physical (cached) IO.
+// The cache is sharded: pages are striped across a power-of-two number
+// of independent shards by page ID, each with its own mutex, so
+// concurrent readers on different pages never serialize on one global
+// lock (the pre-sharding pool was the read path's dominant contention
+// point under RunParallel load). Within a shard, eviction is CLOCK
+// (second chance): a hit sets a reference bit and grabs the frame's
+// data slice — no LRU list splice — and the page copy happens after
+// the lock is released, so the critical section is a map lookup and
+// two stores. Capacity is divided across shards; the pool holds at
+// most `capacity` pages in total, and CLOCK approximates global LRU
+// because the stripe assignment is uniform.
+//
+// Lock ordering. The pool follows one rule, and callers implementing
+// Devices must respect its corollary:
+//
+//   - Data-path device calls (Read, Write) MAY be made while holding
+//     exactly one shard lock (miss fills and dirty write-back do this).
+//     Shard locks are therefore above the device's internal locks.
+//   - Allocation-path device calls (Alloc, Free, Close) are ALWAYS made
+//     with no shard lock held. Alloc in particular calls dev.Alloc
+//     first and only then takes the shard lock to install the fresh
+//     page — the pre-sharding pool mixed the two orders, which is the
+//     classic setup for a Flush-during-Read deadlock if a device ever
+//     synchronizes Alloc against Write.
+//   - No operation ever holds two shard locks at once: Flush and Close
+//     visit shards one at a time, in ascending index order, releasing
+//     each before locking the next.
+//   - A Device implementation must never call back into the pool that
+//     wraps it (its locks sit strictly below every shard lock).
+//
+// The pool keeps hit/miss counters so ablation benchmarks can report
+// both logical (uncached) and physical (cached) IO. The counters are
+// striped with the shards (plain fields bumped under the already-held
+// shard lock), so the hit path never touches a cache line shared with
+// other shards; HitMiss sums them on demand.
 type BufferPool struct {
-	mu       sync.Mutex
-	dev      Device
-	capacity int
-	frames   map[PageID]*list.Element
-	lru      *list.List // front = most recently used
-	hits     atomic.Uint64
-	misses   atomic.Uint64
+	dev    Device
+	shards []poolShard
+	mask   uint64
 }
 
-type frame struct {
+// poolShard is one stripe of the cache: an independent CLOCK ring under
+// its own mutex. The trailing pad keeps hot shard headers on separate
+// cache lines so neighboring shards do not false-share.
+type poolShard struct {
+	mu     sync.Mutex
+	slots  map[PageID]int // page -> ring index
+	ring   []clockFrame   // len == shard capacity once warm
+	cap    int
+	hand   int
+	hits   uint64 // guarded by mu (bumped while it is already held)
+	misses uint64 // guarded by mu
+	_      [64]byte
+}
+
+// clockFrame is one cached page. Its data slice is immutable once set:
+// Write and install replace the slice wholesale rather than mutating
+// bytes in place. That invariant is what lets Read copy a hit out
+// AFTER releasing the shard lock — the slice it grabbed under the lock
+// can be superseded but never scribbled on. ref is the CLOCK
+// second-chance bit; every access happens under the shard lock.
+type clockFrame struct {
 	id    PageID
 	data  []byte
 	dirty bool
+	live  bool
+	ref   bool
 }
 
-// NewBufferPool creates a pool holding up to capacity pages of dev.
-// capacity must be >= 1.
+// NewBufferPool creates a pool holding up to capacity pages of dev,
+// striped across a shard count derived from GOMAXPROCS (capped so every
+// shard holds at least one page). capacity must be >= 1.
 func NewBufferPool(dev Device, capacity int) *BufferPool {
+	return NewBufferPoolSharded(dev, capacity, 0)
+}
+
+// NewBufferPoolSharded is NewBufferPool with an explicit shard count:
+// shards is rounded up to a power of two and clamped to [1, capacity].
+// shards <= 0 selects the automatic count. One shard approximates the
+// classic global-lock pool (the benchmark baseline keeps the true seed
+// implementation for comparison).
+func NewBufferPoolSharded(dev Device, capacity, shards int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
-		dev:      dev,
-		capacity: capacity,
-		frames:   make(map[PageID]*list.Element, capacity),
-		lru:      list.New(),
+	if shards <= 0 {
+		shards = defaultShards()
 	}
+	shards = ceilPow2(shards)
+	for shards > capacity {
+		shards >>= 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	p := &BufferPool{
+		dev:    dev,
+		shards: make([]poolShard, shards),
+		mask:   uint64(shards - 1),
+	}
+	// Distribute capacity across shards, spreading the remainder so the
+	// totals sum exactly to capacity.
+	base, rem := capacity/shards, capacity%shards
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.cap = base
+		if i < rem {
+			sh.cap++
+		}
+		sh.slots = make(map[PageID]int, sh.cap)
+		sh.ring = make([]clockFrame, 0, sh.cap)
+	}
+	return p
+}
+
+// defaultShards picks the automatic stripe count: the next power of two
+// at or above GOMAXPROCS, capped at 64 (beyond that, per-shard capacity
+// fragmentation costs more than the contention it saves).
+func defaultShards() int {
+	n := ceilPow2(runtime.GOMAXPROCS(0))
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NumShards returns the stripe count (a power of two).
+func (p *BufferPool) NumShards() int { return len(p.shards) }
+
+// shardFor stripes a page onto its shard. Page IDs are allocated
+// sequentially, so masking the low bits spreads adjacent pages across
+// different locks.
+func (p *BufferPool) shardFor(id PageID) *poolShard {
+	return &p.shards[uint64(id)&p.mask]
 }
 
 // BlockSize implements Device.
@@ -49,14 +161,17 @@ func (p *BufferPool) BlockSize() int { return p.dev.BlockSize() }
 
 // Alloc implements Device. The fresh page is installed in the cache as
 // a dirty zero page, so a subsequent Write does not touch the device.
+// Per the lock-ordering rule, dev.Alloc runs before any shard lock is
+// taken.
 func (p *BufferPool) Alloc() (PageID, error) {
 	id, err := p.dev.Alloc()
 	if err != nil {
 		return id, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.installLocked(id, make([]byte, p.dev.BlockSize()), true); err != nil {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := p.installLocked(sh, id, make([]byte, p.dev.BlockSize()), true); err != nil {
 		return InvalidPage, err
 	}
 	return id, nil
@@ -67,20 +182,29 @@ func (p *BufferPool) Read(id PageID, buf []byte) error {
 	if len(buf) < p.dev.BlockSize() {
 		return ErrShortBuffer
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if el, ok := p.frames[id]; ok {
-		p.hits.Add(1)
-		p.lru.MoveToFront(el)
-		copy(buf, el.Value.(*frame).data)
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	if slot, ok := sh.slots[id]; ok {
+		fr := &sh.ring[slot]
+		fr.ref = true
+		sh.hits++
+		data := fr.data
+		sh.mu.Unlock()
+		// Copy outside the lock: frame data is immutable once installed
+		// (see clockFrame), so the critical section is just the map
+		// lookup, the reference bit, and the counter.
+		copy(buf, data)
 		return nil
 	}
-	p.misses.Add(1)
+	defer sh.mu.Unlock()
+	sh.misses++
+	// The fill holds the shard lock across dev.Read (the data-path
+	// order); misses on other shards proceed in parallel.
 	data := make([]byte, p.dev.BlockSize())
 	if err := p.dev.Read(id, data); err != nil {
 		return err
 	}
-	if err := p.installLocked(id, data, false); err != nil {
+	if err := p.installLocked(sh, id, data, false); err != nil {
 		return err
 	}
 	copy(buf, data)
@@ -93,71 +217,120 @@ func (p *BufferPool) Write(id PageID, data []byte) error {
 	if len(data) > p.dev.BlockSize() {
 		return ErrShortBuffer
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	page := make([]byte, p.dev.BlockSize())
 	copy(page, data)
-	if el, ok := p.frames[id]; ok {
-		p.hits.Add(1)
-		fr := el.Value.(*frame)
+	if slot, ok := sh.slots[id]; ok {
+		sh.hits++
+		fr := &sh.ring[slot]
 		fr.data = page
 		fr.dirty = true
-		p.lru.MoveToFront(el)
+		fr.ref = true
 		return nil
 	}
-	p.misses.Add(1)
-	return p.installLocked(id, page, true)
+	sh.misses++
+	return p.installLocked(sh, id, page, true)
 }
 
-// installLocked adds a frame, evicting the LRU frame if full.
-func (p *BufferPool) installLocked(id PageID, data []byte, dirty bool) error {
-	if el, ok := p.frames[id]; ok {
-		fr := el.Value.(*frame)
+// installLocked adds a frame to sh, evicting via the CLOCK hand if the
+// stripe is full. The caller holds sh.mu exclusively; dirty eviction
+// write-back calls dev.Write under it (data-path order).
+func (p *BufferPool) installLocked(sh *poolShard, id PageID, data []byte, dirty bool) error {
+	if slot, ok := sh.slots[id]; ok {
+		fr := &sh.ring[slot]
 		fr.data = data
 		fr.dirty = fr.dirty || dirty
-		p.lru.MoveToFront(el)
+		fr.ref = true
 		return nil
 	}
-	for p.lru.Len() >= p.capacity {
-		back := p.lru.Back()
-		fr := back.Value.(*frame)
-		if fr.dirty {
-			if err := p.dev.Write(fr.id, fr.data); err != nil {
-				return err
-			}
-		}
-		p.lru.Remove(back)
-		delete(p.frames, fr.id)
+	slot, err := p.freeSlotLocked(sh)
+	if err != nil {
+		return err
 	}
-	p.frames[id] = p.lru.PushFront(&frame{id: id, data: data, dirty: dirty})
+	fr := &sh.ring[slot]
+	fr.id = id
+	fr.data = data
+	fr.dirty = dirty
+	fr.live = true
+	fr.ref = true
+	sh.slots[id] = slot
 	return nil
 }
 
-// Free implements Device; the cached frame is dropped without
-// write-back.
-func (p *BufferPool) Free(id PageID) error {
-	p.mu.Lock()
-	if el, ok := p.frames[id]; ok {
-		p.lru.Remove(el)
-		delete(p.frames, id)
+// freeSlotLocked returns a ring slot to install into: a fresh slot
+// while the ring is cold, a vacated (Freed) slot when one exists under
+// the hand's sweep, else the first frame the CLOCK hand finds with a
+// clear reference bit (second chance: set bits are cleared and skipped;
+// termination is guaranteed because a full sweep clears every bit).
+func (p *BufferPool) freeSlotLocked(sh *poolShard) (int, error) {
+	if len(sh.ring) < sh.cap {
+		sh.ring = append(sh.ring, clockFrame{})
+		return len(sh.ring) - 1, nil
 	}
-	p.mu.Unlock()
+	for {
+		fr := &sh.ring[sh.hand]
+		slot := sh.hand
+		sh.hand++
+		if sh.hand == len(sh.ring) {
+			sh.hand = 0
+		}
+		if !fr.live {
+			return slot, nil
+		}
+		if fr.ref {
+			fr.ref = false
+			continue
+		}
+		if fr.dirty {
+			if err := p.dev.Write(fr.id, fr.data); err != nil {
+				return 0, err
+			}
+		}
+		delete(sh.slots, fr.id)
+		fr.live = false
+		fr.data = nil
+		return slot, nil
+	}
+}
+
+// Free implements Device; the cached frame is dropped without
+// write-back. dev.Free runs after the shard lock is released
+// (allocation-path order).
+func (p *BufferPool) Free(id PageID) error {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	if slot, ok := sh.slots[id]; ok {
+		fr := &sh.ring[slot]
+		fr.live = false
+		fr.data = nil
+		fr.ref = false
+		delete(sh.slots, id)
+	}
+	sh.mu.Unlock()
 	return p.dev.Free(id)
 }
 
 // Flush writes all dirty frames back to the device (frames stay
-// cached).
+// cached). Shards are visited one at a time in ascending order — Flush
+// never holds two shard locks, so it cannot deadlock against concurrent
+// Reads regardless of which shards they touch.
 func (p *BufferPool) Flush() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for el := p.lru.Front(); el != nil; el = el.Next() {
-		fr := el.Value.(*frame)
-		if fr.dirty {
-			if err := p.dev.Write(fr.id, fr.data); err != nil {
-				return err
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for j := range sh.ring {
+			fr := &sh.ring[j]
+			if fr.live && fr.dirty {
+				if err := p.dev.Write(fr.id, fr.data); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				fr.dirty = false
 			}
-			fr.dirty = false
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -169,20 +342,33 @@ func (p *BufferPool) NumPages() int { return p.dev.NumPages() }
 func (p *BufferPool) Stats() Stats { return p.dev.Stats() }
 
 // ResetStats implements Device; also zeroes hit/miss counters.
-// Lock-free with respect to the data path.
 func (p *BufferPool) ResetStats() {
-	p.hits.Store(0)
-	p.misses.Store(0)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.hits, sh.misses = 0, 0
+		sh.mu.Unlock()
+	}
 	p.dev.ResetStats()
 }
 
 // HitMiss returns the cache hit and miss counts since the last
-// ResetStats. Lock-free.
+// ResetStats, summed over the shards (each shard locked briefly, one at
+// a time — a cold-path cost paid so the hit path itself never touches a
+// shared counter line).
 func (p *BufferPool) HitMiss() (hits, misses uint64) {
-	return p.hits.Load(), p.misses.Load()
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.misses
+		sh.mu.Unlock()
+	}
+	return hits, misses
 }
 
-// Close flushes and closes the backing device.
+// Close flushes and closes the backing device (no shard lock is held
+// across dev.Close, per the allocation-path rule).
 func (p *BufferPool) Close() error {
 	if err := p.Flush(); err != nil {
 		return err

@@ -1,0 +1,105 @@
+package blockio
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// xorshift64 is the benchmark's page-picking RNG: a few ns per draw, so
+// the measurement isolates the pool's locking instead of rand.Rand's
+// own overhead.
+type xorshift64 uint64
+
+func (x *xorshift64) next() uint64 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}
+
+const (
+	benchBlockSize = 128
+	benchPages     = 2048
+)
+
+func benchPoolReads(b *testing.B, p Device) {
+	ids := make([]PageID, benchPages)
+	for i := range ids {
+		id, err := p.Alloc()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
+		if err := p.Write(id, []byte{byte(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := xorshift64(rand.Int63() | 1)
+		buf := make([]byte, benchBlockSize)
+		for pb.Next() {
+			if err := p.Read(ids[rng.next()%benchPages], buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBufferPoolParallel measures concurrent read throughput over
+// one shared pool — the serving hot path. "seed" is the pre-overhaul
+// single-mutex LRU pool (LegacyBufferPool, kept verbatim as the
+// baseline); "sharded" is the lock-striped CLOCK pool at its automatic
+// stripe count. The working set is fully resident (the cache steady
+// state this pool exists to serve), so the measurement isolates the hit
+// path: the seed design splices an LRU list and copies the page under
+// one global exclusive lock, while the sharded design sets a reference
+// bit under a striped read lock and copies outside it. The acceptance
+// bar is >= 30% more ops/sec than seed on this workload; the gap widens
+// further with hardware parallelism (-cpu >= 4).
+func BenchmarkBufferPoolParallel(b *testing.B) {
+	const capacity = benchPages // fully resident
+	b.Run("seed", func(b *testing.B) {
+		benchPoolReads(b, NewLegacyBufferPool(NewMemDevice(benchBlockSize), capacity))
+	})
+	b.Run("sharded", func(b *testing.B) {
+		benchPoolReads(b, NewBufferPool(NewMemDevice(benchBlockSize), capacity))
+	})
+}
+
+// BenchmarkBufferPoolParallelWrites exercises the write path (buffered
+// writes + dirty eviction write-back), with the working set larger than
+// capacity so eviction stays in play.
+func BenchmarkBufferPoolParallelWrites(b *testing.B) {
+	const capacity = benchPages / 2
+	run := func(b *testing.B, p Device) {
+		ids := make([]PageID, benchPages)
+		for i := range ids {
+			id, err := p.Alloc()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[i] = id
+		}
+		payload := make([]byte, benchBlockSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := xorshift64(rand.Int63() | 1)
+			for pb.Next() {
+				if err := p.Write(ids[rng.next()%benchPages], payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("seed", func(b *testing.B) {
+		run(b, NewLegacyBufferPool(NewMemDevice(benchBlockSize), capacity))
+	})
+	b.Run("sharded", func(b *testing.B) {
+		run(b, NewBufferPool(NewMemDevice(benchBlockSize), capacity))
+	})
+}

@@ -1,0 +1,188 @@
+package blockio
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// LegacyBufferPool is the pre-overhaul buffer pool, kept verbatim as
+// the measured baseline for the lock-striping work: one global
+// sync.Mutex around a container/list LRU, every hit splicing the list
+// and copying the page under the exclusive lock. BufferPool replaced it
+// on the serving path; benchmarks (BenchmarkBufferPoolParallel,
+// rankbench -serve-bench) keep comparing against it so the recorded
+// speedup is against the real seed design rather than a configuration
+// of the new pool.
+//
+// Do not use it for new code — it is the contention bottleneck the
+// overhaul removed.
+type LegacyBufferPool struct {
+	mu       sync.Mutex
+	dev      Device
+	capacity int
+	frames   map[PageID]*list.Element
+	lru      *list.List // front = most recently used
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+}
+
+type legacyFrame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+}
+
+// NewLegacyBufferPool creates the seed single-mutex pool over dev.
+func NewLegacyBufferPool(dev Device, capacity int) *LegacyBufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LegacyBufferPool{
+		dev:      dev,
+		capacity: capacity,
+		frames:   make(map[PageID]*list.Element, capacity),
+		lru:      list.New(),
+	}
+}
+
+// BlockSize implements Device.
+func (p *LegacyBufferPool) BlockSize() int { return p.dev.BlockSize() }
+
+// Alloc implements Device.
+func (p *LegacyBufferPool) Alloc() (PageID, error) {
+	id, err := p.dev.Alloc()
+	if err != nil {
+		return id, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.installLocked(id, make([]byte, p.dev.BlockSize()), true); err != nil {
+		return InvalidPage, err
+	}
+	return id, nil
+}
+
+// Read implements Device.
+func (p *LegacyBufferPool) Read(id PageID, buf []byte) error {
+	if len(buf) < p.dev.BlockSize() {
+		return ErrShortBuffer
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.frames[id]; ok {
+		p.hits.Add(1)
+		p.lru.MoveToFront(el)
+		copy(buf, el.Value.(*legacyFrame).data)
+		return nil
+	}
+	p.misses.Add(1)
+	data := make([]byte, p.dev.BlockSize())
+	if err := p.dev.Read(id, data); err != nil {
+		return err
+	}
+	if err := p.installLocked(id, data, false); err != nil {
+		return err
+	}
+	copy(buf, data)
+	return nil
+}
+
+// Write implements Device.
+func (p *LegacyBufferPool) Write(id PageID, data []byte) error {
+	if len(data) > p.dev.BlockSize() {
+		return ErrShortBuffer
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	page := make([]byte, p.dev.BlockSize())
+	copy(page, data)
+	if el, ok := p.frames[id]; ok {
+		p.hits.Add(1)
+		fr := el.Value.(*legacyFrame)
+		fr.data = page
+		fr.dirty = true
+		p.lru.MoveToFront(el)
+		return nil
+	}
+	p.misses.Add(1)
+	return p.installLocked(id, page, true)
+}
+
+func (p *LegacyBufferPool) installLocked(id PageID, data []byte, dirty bool) error {
+	if el, ok := p.frames[id]; ok {
+		fr := el.Value.(*legacyFrame)
+		fr.data = data
+		fr.dirty = fr.dirty || dirty
+		p.lru.MoveToFront(el)
+		return nil
+	}
+	for p.lru.Len() >= p.capacity {
+		back := p.lru.Back()
+		fr := back.Value.(*legacyFrame)
+		if fr.dirty {
+			if err := p.dev.Write(fr.id, fr.data); err != nil {
+				return err
+			}
+		}
+		p.lru.Remove(back)
+		delete(p.frames, fr.id)
+	}
+	p.frames[id] = p.lru.PushFront(&legacyFrame{id: id, data: data, dirty: dirty})
+	return nil
+}
+
+// Free implements Device.
+func (p *LegacyBufferPool) Free(id PageID) error {
+	p.mu.Lock()
+	if el, ok := p.frames[id]; ok {
+		p.lru.Remove(el)
+		delete(p.frames, id)
+	}
+	p.mu.Unlock()
+	return p.dev.Free(id)
+}
+
+// Flush writes all dirty frames back to the device.
+func (p *LegacyBufferPool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*legacyFrame)
+		if fr.dirty {
+			if err := p.dev.Write(fr.id, fr.data); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// NumPages implements Device.
+func (p *LegacyBufferPool) NumPages() int { return p.dev.NumPages() }
+
+// Stats implements Device.
+func (p *LegacyBufferPool) Stats() Stats { return p.dev.Stats() }
+
+// ResetStats implements Device.
+func (p *LegacyBufferPool) ResetStats() {
+	p.hits.Store(0)
+	p.misses.Store(0)
+	p.dev.ResetStats()
+}
+
+// HitMiss returns the cache hit and miss counts.
+func (p *LegacyBufferPool) HitMiss() (hits, misses uint64) {
+	return p.hits.Load(), p.misses.Load()
+}
+
+// Close flushes and closes the backing device.
+func (p *LegacyBufferPool) Close() error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	return p.dev.Close()
+}
+
+var _ Device = (*LegacyBufferPool)(nil)

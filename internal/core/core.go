@@ -214,7 +214,8 @@ func MeasureQuery(m exact.Method, k int, t1, t2 float64) (*QueryStats, error) {
 // Reference computes exact ground truth from the in-memory dataset
 // (used for quality metrics; independent of any index).
 func Reference(ds *tsdata.Dataset, k int, t1, t2 float64) []topk.Item {
-	c := topk.NewCollector(k)
+	c := topk.GetCollector(k)
+	defer c.Release()
 	for _, s := range ds.AllSeries() {
 		c.Add(s.ID, s.Range(t1, t2))
 	}

@@ -47,9 +47,11 @@ type Method interface {
 }
 
 // collectTopK runs the shared final step of every method: push all m
-// aggregate scores through a size-k priority queue.
+// aggregate scores through a size-k priority queue (pooled — this runs
+// once per query on every exact path).
 func collectTopK(k int, scores []float64) []topk.Item {
-	c := topk.NewCollector(k)
+	c := topk.GetCollector(k)
+	defer c.Release()
 	for i, s := range scores {
 		c.Add(tsdata.SeriesID(i), s)
 	}

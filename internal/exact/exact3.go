@@ -3,6 +3,7 @@ package exact
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"temporalrank/internal/blockio"
 	"temporalrank/internal/itree"
@@ -122,10 +123,42 @@ func (e *Exact3) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
 	if err != nil {
 		return nil, err
 	}
-	return collectTopK(k, sums), nil
+	items := collectTopK(k, sums)
+	putScores(sums)
+	return items, nil
 }
 
-// allScores computes σ_i(t1,t2) for every object via two stabs.
+// scorePool recycles the per-query σ-vectors (one float64 per object,
+// two vectors per query) — the largest single allocation on the EXACT3
+// read path.
+var scorePool sync.Pool
+
+// getScores returns a zeroed score slice of length m.
+func getScores(m int) []float64 {
+	if v := scorePool.Get(); v != nil {
+		s := *v.(*[]float64)
+		if cap(s) >= m {
+			s = s[:m]
+			for i := range s {
+				s[i] = 0
+			}
+			return s
+		}
+	}
+	return make([]float64, m)
+}
+
+// putScores returns a slice obtained from getScores to the pool.
+func putScores(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	scorePool.Put(&s)
+}
+
+// allScores computes σ_i(t1,t2) for every object via two stabs. The
+// returned slice comes from scorePool; callers release it with
+// putScores once the values are consumed.
 func (e *Exact3) allScores(t1, t2 float64) ([]float64, error) {
 	if err := validateQuery(t1, t2); err != nil {
 		return nil, err
@@ -136,11 +169,13 @@ func (e *Exact3) allScores(t1, t2 float64) ([]float64, error) {
 	}
 	lo, err := e.stabSigma(t1)
 	if err != nil {
+		putScores(hi)
 		return nil, err
 	}
 	for i := range hi {
 		hi[i] -= lo[i]
 	}
+	putScores(lo)
 	return hi, nil
 }
 
@@ -164,7 +199,7 @@ func (e *Exact3) clampStatic(t float64) float64 {
 // partial trapezoid beyond t gives the prefix aggregate at t. Appended
 // tails override the static tree's right sentinels.
 func (e *Exact3) stabSigma(t float64) ([]float64, error) {
-	out := make([]float64, e.m)
+	out := getScores(e.m)
 	stabT := e.clampStatic(t)
 	err := e.tree.Stab(stabT, func(iv itree.Interval) bool {
 		id := getSeriesID(iv.Payload[0:])
@@ -180,6 +215,7 @@ func (e *Exact3) stabSigma(t float64) ([]float64, error) {
 		return true
 	})
 	if err != nil {
+		putScores(out)
 		return nil, err
 	}
 	return out, nil
@@ -214,7 +250,9 @@ func (e *Exact3) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return sums[id], nil
+	s := sums[id]
+	putScores(sums)
+	return s, nil
 }
 
 // Append implements Method. New segments land in an in-memory tail
@@ -272,7 +310,8 @@ func (e *Exact3) InstantTopK(k int, t float64) ([]topk.Item, error) {
 	if err := validateQuery(t, t); err != nil {
 		return nil, err
 	}
-	c := topk.NewCollector(k)
+	c := topk.GetCollector(k)
+	defer c.Release()
 	stabT := e.clampStatic(t)
 	err := e.tree.Stab(stabT, func(iv itree.Interval) bool {
 		id := getSeriesID(iv.Payload[0:])

@@ -223,11 +223,17 @@ func (t *Tree) writeList(ivs []Interval) (blockio.PageID, error) {
 }
 
 // Stab invokes visit for every stored interval containing t. The
-// payload slice passed to visit aliases an internal buffer; copy it to
-// retain. Iteration stops early if visit returns false.
+// payload slice passed to visit aliases an internal pooled buffer; it
+// is invalidated when Stab returns, so copy it to retain. Iteration
+// stops early if visit returns false.
 func (t *Tree) Stab(x float64, visit func(iv Interval) bool) error {
-	buf := make([]byte, t.dev.BlockSize())
-	lbuf := make([]byte, t.dev.BlockSize())
+	// Stabs are the EXACT3 hot path (two per top-k query); recycle the
+	// node and list scratch pages instead of allocating per call.
+	bp := blockio.GetPageBuf(t.dev.BlockSize())
+	lp := blockio.GetPageBuf(t.dev.BlockSize())
+	defer blockio.PutPageBuf(bp)
+	defer blockio.PutPageBuf(lp)
+	buf, lbuf := *bp, *lp
 	page := t.root
 	for page != blockio.InvalidPage {
 		if err := t.dev.Read(page, buf); err != nil {

@@ -7,6 +7,7 @@ package topk
 import (
 	"container/heap"
 	"sort"
+	"sync"
 
 	"temporalrank/internal/tsdata"
 )
@@ -33,6 +34,39 @@ func NewCollector(k int) *Collector {
 	}
 	return &Collector{k: k, items: make(minHeap, 0, k+1)}
 }
+
+// collectorPool recycles collectors across queries: every query on the
+// hot read path builds one size-k heap, and under concurrent serving
+// load those heap allocations are pure churn. Get/Release pair around a
+// single query's lifetime.
+var collectorPool = sync.Pool{New: func() any { return new(Collector) }}
+
+// GetCollector returns a pooled collector reset for the top k items.
+// Release it with Release once its Results have been copied out.
+func GetCollector(k int) *Collector {
+	c := collectorPool.Get().(*Collector)
+	c.Reset(k)
+	return c
+}
+
+// Reset empties the collector and re-arms it for k, keeping the backing
+// array when it is large enough.
+func (c *Collector) Reset(k int) {
+	if k < 1 {
+		k = 1
+	}
+	c.k = k
+	if cap(c.items) < k+1 {
+		c.items = make(minHeap, 0, k+1)
+	} else {
+		c.items = c.items[:0]
+	}
+}
+
+// Release returns the collector to the pool. The collector must not be
+// used afterwards; Results() output remains valid (it is always a
+// copy).
+func (c *Collector) Release() { collectorPool.Put(c) }
 
 // K returns the configured bound.
 func (c *Collector) K() int { return c.k }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"temporalrank/internal/qcache"
 )
 
 // Planner holds several indexes built over one DB and routes each
@@ -26,6 +28,55 @@ type Planner struct {
 
 	mu      sync.RWMutex
 	indexes []*Index
+	cache   *qcache.Cache[queryKey, Answer]
+}
+
+// CacheStats summarizes a result cache's effectiveness: Hits were
+// served from a stored answer, Misses executed the query, and Coalesced
+// callers joined another caller's identical in-flight query instead of
+// executing their own.
+type CacheStats struct {
+	Hits, Misses, Coalesced uint64
+}
+
+// HitRatio returns Hits / (Hits + Misses + Coalesced), or 0 before any
+// lookup. Coalesced lookups count toward the denominator but not as
+// hits — they avoided an index run but still had to wait for one.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// EnableResultCache attaches a bounded result cache to Run: up to
+// entries distinct (query, data-version) answers are kept, identical
+// concurrent queries coalesce into one index run, and every successful
+// Append bumps the version so a cached pre-append answer is never
+// served post-append. entries <= 0 detaches the cache. Existing entries
+// are discarded when called again.
+func (p *Planner) EnableResultCache(entries int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if entries <= 0 {
+		p.cache = nil
+		return
+	}
+	p.cache = qcache.New[queryKey, Answer](entries)
+}
+
+// CacheStats returns the result cache's counters; ok is false when no
+// cache is attached.
+func (p *Planner) CacheStats() (stats CacheStats, ok bool) {
+	p.mu.RLock()
+	cache := p.cache
+	p.mu.RUnlock()
+	if cache == nil {
+		return CacheStats{}, false
+	}
+	s := cache.Stats()
+	return CacheStats{Hits: s.Hits, Misses: s.Misses, Coalesced: s.Coalesced}, true
 }
 
 // NewPlanner assembles a planner over db and any number of indexes
@@ -184,13 +235,29 @@ func (p *Planner) cheapest(q Query, wantApprox bool) *Index {
 	return best
 }
 
-// Run implements Querier: validate, route, execute.
+// Run implements Querier: validate, consult the result cache (when one
+// is attached), route, execute.
+//
+// The cache lookup loads the DB's data version before planning, so an
+// Append that completes after the load at worst wastes one entry (the
+// fresh answer stored under the old version); it can never cause a
+// stale answer, because post-append callers observe the bumped version
+// and miss.
 func (p *Planner) Run(ctx context.Context, q Query) (Answer, error) {
 	q = q.withDefaults()
 	if err := q.Validate(); err != nil {
 		return Answer{}, err
 	}
-	return p.Plan(q).Run(ctx, q)
+	p.mu.RLock()
+	cache := p.cache
+	p.mu.RUnlock()
+	if cache == nil {
+		return p.Plan(q).Run(ctx, q)
+	}
+	ans, _, err := cache.Do(ctx, q.cacheKey(), p.db.version.Load(), func() (Answer, error) {
+		return p.Plan(q).Run(ctx, q)
+	})
+	return ans, err
 }
 
 // EstimateIOs instantiates the paper's asymptotic per-query IO costs

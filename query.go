@@ -2,6 +2,7 @@ package temporalrank
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"time"
@@ -80,6 +81,45 @@ func (q Query) withDefaults() Query {
 	return q
 }
 
+// aggTag is the cache key's one-byte aggregate discriminator.
+func (a Agg) aggTag() byte {
+	switch a {
+	case AggAvg:
+		return 1
+	case AggInstant:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// queryKey is a Query's canonical fixed-size cache identity. It is a
+// comparable value type, so result-cache lookups hash it without
+// allocating — the cached read path is zero-alloc end to end.
+type queryKey [41]byte
+
+// cacheKey returns the query's canonical identity for result caching:
+// two queries share a key exactly when every field that can influence
+// the answer (aggregate, k, interval, tolerance, IO budget — the last
+// two steer the Planner's routing, hence the reported method/ε) is
+// byte-identical after canonicalization. The zero Agg collapses onto
+// AggSum and an instant query's ignored T2 is canonicalized away, so
+// spelling variants of the same request hit the same entry.
+func (q Query) cacheKey() queryKey {
+	q = q.withDefaults()
+	if q.Agg == AggInstant {
+		q.T2 = 0
+	}
+	var b queryKey
+	b[0] = q.Agg.aggTag()
+	binary.LittleEndian.PutUint64(b[1:], uint64(q.K))
+	binary.LittleEndian.PutUint64(b[9:], math.Float64bits(q.T1))
+	binary.LittleEndian.PutUint64(b[17:], math.Float64bits(q.T2))
+	binary.LittleEndian.PutUint64(b[25:], math.Float64bits(q.MaxEpsilon))
+	binary.LittleEndian.PutUint64(b[33:], q.MaxIOs)
+	return b
+}
+
 // Validate checks the query's shape. Interval problems wrap
 // ErrBadInterval so callers can classify them with errors.Is.
 func (q Query) Validate() error {
@@ -114,6 +154,12 @@ func (q Query) Validate() error {
 const MethodReference Method = "REFERENCE"
 
 // Answer is one executed Query.
+//
+// When a result cache is enabled (Planner.EnableResultCache,
+// ClusterOptions.ResultCache), identical queries at the same data
+// version share one Answer value: Results aliases the cached slice and
+// must be treated as read-only, and Latency/IOs describe the run that
+// populated the cache, not the (near-free) cached retrieval.
 type Answer struct {
 	// Results are the ranked objects, best first.
 	Results []Result
@@ -167,7 +213,8 @@ func (db *DB) Run(ctx context.Context, q Query) (Answer, error) {
 	}
 	start := time.Now()
 	db.mu.RLock()
-	c := topk.NewCollector(q.K)
+	c := topk.GetCollector(q.K)
+	defer c.Release()
 	for i, s := range db.ds.AllSeries() {
 		if i%ctxCheckStride == 0 {
 			if err := ctx.Err(); err != nil {

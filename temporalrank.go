@@ -32,6 +32,7 @@ package temporalrank
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"temporalrank/internal/approx"
 	"temporalrank/internal/blockio"
@@ -100,6 +101,13 @@ type DB struct {
 	// mutex before this one.
 	mu sync.RWMutex
 	ds *tsdata.Dataset
+	// version counts successful appends. Every mutation path (DB.Append,
+	// Index.Append, Planner.Append, Cluster.Append) funnels through
+	// appendLocked, which bumps it while holding mu exclusively — so a
+	// result cache keyed by (query, version) can never serve a
+	// pre-append answer to a post-append reader, regardless of which
+	// entry point performed the append.
+	version atomic.Uint64
 }
 
 // NewDB validates and assembles a database from raw series.
@@ -411,8 +419,15 @@ func appendLocked(db *DB, ixs []*Index, id int, t, v float64) error {
 		}
 	}
 	db.ds.Refresh()
+	db.version.Add(1)
 	return nil
 }
+
+// DataVersion returns a counter incremented by every successful append,
+// whichever entry point performed it. Result caches (Planner, Cluster,
+// or caller-built) key entries by this value so answers computed before
+// an append are never served after it.
+func (db *DB) DataVersion() uint64 { return db.version.Load() }
 
 // Stats reports index size and cumulative device IO.
 type Stats struct {
