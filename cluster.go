@@ -112,15 +112,23 @@ type ClusterOptions struct {
 // in NewDB — a Cluster built from the same series as a DB answers
 // queries with the same IDs.
 func NewCluster(series []SeriesInput, opts ClusterOptions) (*Cluster, error) {
+	return NewClusterContext(context.Background(), series, opts)
+}
+
+// NewClusterContext is NewCluster with a caller-supplied context
+// governing the parallel shard and index builds: cancel it and the
+// in-flight build tasks finish, queued ones are skipped, and the
+// context's error is returned.
+func NewClusterContext(ctx context.Context, series []SeriesInput, opts ClusterOptions) (*Cluster, error) {
 	n := opts.Shards
 	if n == 0 {
 		n = 1
 	}
 	if n < 1 {
-		return nil, fmt.Errorf("temporalrank: cluster needs >= 1 shard, got %d", n)
+		return nil, fmt.Errorf("temporalrank: cluster needs >= 1 shard, got %d: %w", n, ErrBadConfig)
 	}
 	if len(series) == 0 {
-		return nil, fmt.Errorf("temporalrank: no series given")
+		return nil, fmt.Errorf("temporalrank: no series given: %w", ErrNoInput)
 	}
 	part := opts.Partitioner
 	if part == nil {
@@ -153,7 +161,7 @@ func NewCluster(series []SeriesInput, opts ClusterOptions) (*Cluster, error) {
 	}
 	// Phase 1: shard DBs, in parallel. Each task writes only its own
 	// shard slot.
-	err := scatter.Run(context.Background(), n, runtime.GOMAXPROCS(0), func(_ context.Context, i int) error {
+	err := scatter.Run(ctx, n, runtime.GOMAXPROCS(0), func(_ context.Context, i int) error {
 		if len(inputs[i]) == 0 {
 			return nil // empty shard: fewer series than shards
 		}
@@ -181,7 +189,7 @@ func NewCluster(series []SeriesInput, opts ClusterOptions) (*Cluster, error) {
 			jobs = append(jobs, buildJob{shard: i, opt: j})
 		}
 	}
-	err = scatter.Run(context.Background(), len(jobs), runtime.GOMAXPROCS(0), func(_ context.Context, j int) error {
+	err = scatter.Run(ctx, len(jobs), runtime.GOMAXPROCS(0), func(_ context.Context, j int) error {
 		b := jobs[j]
 		ix, err := c.shards[b.shard].db.BuildIndex(opts.Indexes[b.opt])
 		if err != nil {
@@ -211,11 +219,17 @@ func NewCluster(series []SeriesInput, opts ClusterOptions) (*Cluster, error) {
 // samples, applying the chosen segmentation before partitioning — the
 // sharded counterpart of NewDBFromSamples.
 func NewClusterFromSamples(objects [][]Sample, method SegmentationMethod, errBudget float64, opts ClusterOptions) (*Cluster, error) {
+	return NewClusterFromSamplesContext(context.Background(), objects, method, errBudget, opts)
+}
+
+// NewClusterFromSamplesContext is NewClusterFromSamples with a
+// caller-supplied context governing the parallel build phases.
+func NewClusterFromSamplesContext(ctx context.Context, objects [][]Sample, method SegmentationMethod, errBudget float64, opts ClusterOptions) (*Cluster, error) {
 	inputs, err := segmentObjects(objects, method, errBudget)
 	if err != nil {
 		return nil, err
 	}
-	return NewCluster(inputs, opts)
+	return NewClusterContext(ctx, inputs, opts)
 }
 
 // NewClusterFromDB re-partitions an existing single-node database into
@@ -223,6 +237,12 @@ func NewClusterFromSamples(objects [][]Sample, method SegmentationMethod, errBud
 // The cluster copies the DB's current data; later appends to either
 // side do not propagate to the other.
 func NewClusterFromDB(db *DB, opts ClusterOptions) (*Cluster, error) {
+	return NewClusterFromDBContext(context.Background(), db, opts)
+}
+
+// NewClusterFromDBContext is NewClusterFromDB with a caller-supplied
+// context governing the parallel build phases.
+func NewClusterFromDBContext(ctx context.Context, db *DB, opts ClusterOptions) (*Cluster, error) {
 	// Copy the vertices out under the read lock directly — no
 	// intermediate Snapshot clone, so peak memory is the copy itself.
 	db.mu.RLock()
@@ -238,7 +258,7 @@ func NewClusterFromDB(db *DB, opts ClusterOptions) (*Cluster, error) {
 		series[i] = SeriesInput{Times: times, Values: values}
 	}
 	db.mu.RUnlock()
-	return NewCluster(series, opts)
+	return NewClusterContext(ctx, series, opts)
 }
 
 // NumShards returns the number of partitions (including empty ones).
@@ -330,6 +350,8 @@ func (c *Cluster) CacheStats() (stats CacheStats, ok bool) {
 // from the stored merged answer and concurrent identical queries
 // coalesce into one scatter. See the type docs for the merged Answer
 // semantics.
+//
+//tr:hotpath
 func (c *Cluster) Run(ctx context.Context, q Query) (Answer, error) {
 	q = q.withDefaults()
 	if err := q.Validate(); err != nil {
@@ -341,6 +363,7 @@ func (c *Cluster) Run(ctx context.Context, q Query) (Answer, error) {
 	// Version is loaded before the scatter: an append landing mid-run
 	// at worst wastes the entry (stored under the pre-append version no
 	// future caller loads), never serves stale data.
+	//tr:alloc-ok miss-only closure: on the cached path Do returns before calling it
 	ans, _, err := c.cache.Do(ctx, q.cacheKey(), c.version(), func() (Answer, error) {
 		return c.run(ctx, q)
 	})

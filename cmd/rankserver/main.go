@@ -35,6 +35,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -148,7 +149,7 @@ func run(addr, data string, binary bool, genSpec string, seed int64, methods str
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("serving %s on %s with %d workers", methods, addr, srv.exec.Workers())
-		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
 	}()

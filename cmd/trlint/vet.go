@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"temporalrank/internal/analysis"
+	"temporalrank/internal/analysis/checker"
+	"temporalrank/internal/analysis/load"
+)
+
+// vetConfig is the JSON unit description the go command hands a
+// vettool: one package's files plus the locations of its dependencies'
+// export data.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one go vet unit: parse and type-check the files
+// listed in the config (imports resolved through the export data the
+// go command already built), run the analyzers, and report findings
+// on stderr with a nonzero exit.
+func vetUnit(cfgPath string, analyzers []*analysis.Analyzer, stderr *os.File) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "trlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "trlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The facts file must exist even though trlint exchanges no facts:
+	// the go command caches it per unit.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(stderr, "trlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(stderr, "trlint:", err)
+			return typecheckFailure(cfg)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		fmt.Fprintln(stderr, "trlint:", err)
+		return typecheckFailure(cfg)
+	}
+	unit := &load.Package{
+		ImportPath: cfg.ImportPath,
+		Name:       pkg.Name(),
+		Dir:        cfg.Dir,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+	}
+	findings, err := checker.Run([]*load.Package{unit}, fset, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "trlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func typecheckFailure(cfg vetConfig) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	return 2
+}

@@ -31,4 +31,14 @@ var (
 	// ErrBadInterval reports a non-finite, inverted, or (for AggAvg)
 	// zero-width query interval.
 	ErrBadInterval = trerr.ErrBadInterval
+
+	// ErrBadConfig reports constructor misuse: a nil DB or index, an
+	// invalid shard count, an index built over a different DB, or a
+	// partitioner that maps a series outside its shard table.
+	ErrBadConfig = trerr.ErrBadConfig
+
+	// ErrNoInput reports a constructor given an empty dataset — no
+	// series (NewDB, NewCluster) or no sampled objects
+	// (NewDBFromSamples, NewClusterFromSamples).
+	ErrNoInput = trerr.ErrNoInput
 )

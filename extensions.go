@@ -63,7 +63,7 @@ func NewDBFromSamples(objects [][]Sample, method SegmentationMethod, errBudget f
 // NewDBFromSamples and NewClusterFromSamples.
 func segmentObjects(objects [][]Sample, method SegmentationMethod, errBudget float64) ([]SeriesInput, error) {
 	if len(objects) == 0 {
-		return nil, fmt.Errorf("temporalrank: no objects given")
+		return nil, fmt.Errorf("temporalrank: no objects given: %w", ErrNoInput)
 	}
 	inputs := make([]SeriesInput, len(objects))
 	for i, samples := range objects {

@@ -1,0 +1,191 @@
+// Package analysistest runs an analyzer over golden test packages and
+// checks its diagnostics against expectations written in the sources,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the
+// standard library alone.
+//
+// A test package lives under testdata/src/<path>/ as ordinary Go
+// files whose imports must resolve to the standard library. A line
+// that should be flagged carries a trailing comment of the form
+//
+//	x := fmt.Sprintf("%d", n) // want `Sprintf`
+//
+// with one or more backquoted or double-quoted regular expressions,
+// each of which must match a distinct diagnostic reported on that
+// line. Diagnostics on lines with no matching expectation, and
+// expectations no diagnostic matched, fail the test.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"temporalrank/internal/analysis"
+	"temporalrank/internal/analysis/load"
+)
+
+// TestData returns the absolute path of the caller's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads testdata/src/<path> for each path, applies the analyzer,
+// and reports expectation mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		runOne(t, filepath.Join(testdata, "src", path), a)
+	}
+}
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+
+	exports := load.NewExports("")
+	var imports []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports = append(imports, p)
+			}
+		}
+	}
+	if err := exports.Prefetch(imports); err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: exports.Importer(fset)}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: type-checking %s: %v", dir, err)
+	}
+
+	// Collect // want expectations, keyed by (file, line).
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := make(map[lineKey][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := lineKey{file: posn.Filename, line: posn.Line}
+				for _, pat := range parseWants(t, posn, text) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posn, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := lineKey{file: posn.Filename, line: posn.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched `%s`", key.file, key.line, w.rx)
+			}
+		}
+	}
+}
+
+// parseWants extracts the quoted patterns following "// want".
+func parseWants(t *testing.T, posn token.Position, text string) []string {
+	t.Helper()
+	var pats []string
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		var quote byte
+		switch rest[0] {
+		case '`', '"':
+			quote = rest[0]
+		default:
+			t.Fatalf("%s: malformed want expectation near %q", posn, rest)
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", posn, rest)
+		}
+		pats = append(pats, rest[1:1+end])
+		rest = strings.TrimSpace(rest[2+end:])
+	}
+	return pats
+}

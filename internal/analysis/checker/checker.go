@@ -1,0 +1,106 @@
+// Package checker runs analyzers over loaded packages and collects
+// their findings: the shared driver behind cmd/trlint.
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"temporalrank/internal/analysis"
+	"temporalrank/internal/analysis/load"
+)
+
+// Finding is one reported diagnostic, resolved to a position.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Posn, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every unit and returns the surviving
+// findings sorted by position. A finding is suppressed when the line
+// it is reported on (or the line above it) carries a comment of the
+// form
+//
+//	//trlint:ignore <analyzer> <reason>
+//
+// naming the reporting analyzer; the reason is mandatory by
+// convention and the suppression applies to that line only.
+func Run(units []*load.Package, fset *token.FileSet, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, u := range units {
+		ignored := ignoreLines(fset, u.Files)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     u.Files,
+				Pkg:       u.Types,
+				TypesInfo: u.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				posn := fset.Position(d.Pos)
+				key := ignoreKey{file: posn.Filename, line: posn.Line, analyzer: name}
+				above := ignoreKey{file: posn.Filename, line: posn.Line - 1, analyzer: name}
+				if ignored[key] || ignored[above] {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: name, Posn: posn, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("checker: %s on %s: %w", a.Name, u.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// ignoreLines indexes every //trlint:ignore comment by file, line and
+// named analyzer.
+func ignoreLines(fset *token.FileSet, files []*ast.File) map[ignoreKey]bool {
+	out := make(map[ignoreKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//trlint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				out[ignoreKey{file: posn.Filename, line: posn.Line, analyzer: fields[0]}] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+// Package ctxflow flags context plumbing that silently drops caller
+// cancellation, the shape that made huge multi-shard cluster builds
+// unabortable (cluster.go's construction phases once ran under
+// context.Background() even when the caller held a context).
+//
+// Two rules, applied outside package main, _test.go files, and
+// example files:
+//
+//   - context.Background() or context.TODO() is flagged when an
+//     enclosing function (the declaration or any function literal
+//     between it and the call) has a usable — named, non-blank —
+//     context.Context parameter: the caller's context exists and
+//     should be threaded, not replaced.
+//   - context.TODO() is additionally always flagged: it marks
+//     unfinished plumbing, which engine code must not ship.
+//
+// A deliberate Background() bridge in a compatibility wrapper whose
+// signature has no context parameter (for example NewCluster calling
+// NewClusterContext) is legal and not reported.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"temporalrank/internal/analysis"
+)
+
+// Analyzer is the ctxflow analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag context.Background/TODO calls that drop an in-scope caller context",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		checkFile(pass, f)
+	}
+	return nil, nil
+}
+
+// checkFile walks one file keeping the stack of enclosing functions.
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	// funcs is the enclosing chain; ctxDepth counts how many carry a
+	// usable context parameter.
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := backgroundOrTODO(pass, call)
+		if !ok {
+			return true
+		}
+		if param := enclosingCtxParam(pass, stack); param != "" {
+			pass.Reportf(call.Pos(),
+				"context.%s discards the caller's context: thread the enclosing function's %q instead",
+				name, param)
+		} else if name == "TODO" {
+			pass.Reportf(call.Pos(),
+				"context.TODO marks unfinished context plumbing: accept a context.Context or use context.Background with intent")
+		}
+		return true
+	})
+}
+
+// backgroundOrTODO reports whether call is context.Background() or
+// context.TODO().
+func backgroundOrTODO(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name != "Background" && name != "TODO" {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	return name, true
+}
+
+// enclosingCtxParam returns the name of a usable context.Context
+// parameter on the innermost enclosing functions, walking outward
+// through function literals to the declaration.
+func enclosingCtxParam(pass *analysis.Pass, stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			ft = fn.Type
+		case *ast.FuncDecl:
+			ft = fn.Type
+		default:
+			continue
+		}
+		if name := ctxParamName(pass, ft); name != "" {
+			return name
+		}
+	}
+	return ""
+}
+
+// ctxParamName returns the first named, non-blank parameter of type
+// context.Context, or "".
+func ctxParamName(pass *analysis.Pass, ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isContext(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"temporalrank/internal/analysis/analysistest"
+	"temporalrank/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer, "ctxflowtest", "mainpkg")
+}

@@ -1,0 +1,39 @@
+// Package ctxflowtest exercises the dropped-context rules.
+package ctxflowtest
+
+import "context"
+
+func run(ctx context.Context) error { return ctx.Err() }
+
+func threaded(ctx context.Context) error {
+	return run(context.Background()) // want `context\.Background discards the caller's context: thread the enclosing function's "ctx" instead`
+}
+
+func todoAlways() error {
+	return run(context.TODO()) // want `context\.TODO marks unfinished context plumbing`
+}
+
+func todoWithCtx(ctx context.Context) error {
+	return run(context.TODO()) // want `context\.TODO discards the caller's context`
+}
+
+// inLiteral: the literal has no context parameter of its own, but the
+// enclosing declaration does — still a drop.
+func inLiteral(ctx context.Context) func() error {
+	return func() error {
+		return run(context.Background()) // want `context\.Background discards the caller's context`
+	}
+}
+
+// bridge has no context parameter anywhere in scope: a deliberate
+// Background bridge (the NewCluster → NewClusterContext shape) is
+// legal.
+func bridge() error {
+	return run(context.Background())
+}
+
+// blankParam's context is unusable (blank), so Background is the only
+// option and is not flagged.
+func blankParam(_ context.Context) error {
+	return run(context.Background())
+}

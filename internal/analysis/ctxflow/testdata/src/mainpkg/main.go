@@ -1,0 +1,14 @@
+// Package main is exempt: top-of-process code is where contexts are
+// born, so Background here is correct even next to a context param.
+package main
+
+import "context"
+
+func helper(ctx context.Context) error {
+	other := context.Background()
+	return other.Err()
+}
+
+func main() {
+	_ = helper(context.Background())
+}

@@ -1,0 +1,320 @@
+// Package hotalloc keeps annotated hot-path functions allocation-free
+// by static inspection — the mechanical guard for the serving read
+// path's 0 allocs/op property (cached Planner.Run, qcache lookups,
+// the pooled topk.Collector lifecycle, the buffer-pool hit path).
+//
+// # Annotation contract
+//
+// A function opts in by carrying the directive comment
+//
+//	//tr:hotpath
+//
+// in its doc block. Inside an annotated function the analyzer flags
+// every construct that allocates (or defeats escape analysis) on some
+// execution: fmt.* and errors.New calls, non-constant string
+// concatenation, map/slice literals and &composite literals, make,
+// new, append, function literals, go statements, string/[]byte/[]rune
+// conversions, explicit conversions to interface types, and implicit
+// interface boxing of non-pointer-shaped arguments at call sites.
+//
+// A sanctioned allocation — a cold branch such as a cache-miss fill,
+// or a closure the escape analyzer provably keeps on the stack — is
+// waived line-by-line with
+//
+//	//tr:alloc-ok <reason>
+//
+// on (or immediately above) the allocating line. The waiver is part
+// of the function's contract: it documents, in place, why the hot
+// path's zero-allocation claim still holds. The dynamic backstop
+// (TestPlannerCachedRunZeroAllocs and the CI allocs/op assertion on
+// BenchmarkPlannerCachedRun) keeps the waivers honest.
+//
+// The analysis is necessarily approximate: value struct literals,
+// pointer boxing, and stack-kept allocations are not flagged, and
+// allocation inside callees is only caught if the callee is itself
+// annotated.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"temporalrank/internal/analysis"
+)
+
+// Analyzer is the hotalloc analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocation-introducing constructs inside //tr:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		waived := waivedLines(pass, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			c := &checker{pass: pass, waived: waived}
+			c.check(fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// isHotPath reports whether the declaration carries //tr:hotpath.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//tr:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// waivedLines collects the lines carrying a //tr:alloc-ok waiver.
+func waivedLines(pass *analysis.Pass, f *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//tr:alloc-ok") {
+				out[pass.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	waived map[int]bool
+}
+
+func (c *checker) report(n ast.Node, format string, args ...any) {
+	line := c.pass.Fset.Position(n.Pos()).Line
+	if c.waived[line] || c.waived[line-1] {
+		return
+	}
+	c.pass.Reportf(n.Pos(), format, args...)
+}
+
+func (c *checker) check(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.report(n, "closure on hot path: a function literal may allocate its captures")
+			return false
+		case *ast.GoStmt:
+			c.report(n, "go statement on hot path: spawning a goroutine allocates")
+		case *ast.BinaryExpr:
+			c.checkConcat(n)
+		case *ast.AssignStmt:
+			c.checkConcatAssign(n)
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n)
+		case *ast.UnaryExpr:
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				c.report(n, "&composite literal escapes to the heap")
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		}
+		return true
+	})
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (c *checker) checkConcat(n *ast.BinaryExpr) {
+	if n.Op.String() != "+" {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[n]
+	if !ok || tv.Value != nil { // constant-folded concatenation is free
+		return
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+		c.report(n, "string concatenation allocates: use a pooled buffer or precomputed key")
+	}
+}
+
+func (c *checker) checkConcatAssign(n *ast.AssignStmt) {
+	if n.Tok.String() != "+=" || len(n.Lhs) != 1 {
+		return
+	}
+	t := c.typeOf(n.Lhs[0])
+	if t == nil {
+		return
+	}
+	if basic, ok := t.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+		c.report(n, "string += allocates: use a pooled buffer or precomputed key")
+	}
+}
+
+func (c *checker) checkCompositeLit(n *ast.CompositeLit) {
+	t := c.typeOf(n)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		c.report(n, "map literal allocates")
+	case *types.Slice:
+		c.report(n, "slice literal allocates")
+	}
+	// Value struct and array literals live on the stack; the escaping
+	// &T{...} form is caught at the UnaryExpr.
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Builtins and conversions first: their Fun is a type or a
+	// universe name, not a *types.Func.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "make":
+			if c.pass.TypesInfo.Uses[id] == types.Universe.Lookup("make") {
+				c.report(call, "make allocates")
+				return
+			}
+		case "new":
+			if c.pass.TypesInfo.Uses[id] == types.Universe.Lookup("new") {
+				c.report(call, "new allocates")
+				return
+			}
+		case "append":
+			if c.pass.TypesInfo.Uses[id] == types.Universe.Lookup("append") {
+				c.report(call, "append may grow its backing array: preallocate capacity outside the hot path")
+				return
+			}
+		}
+	}
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+	if fn := calleeFunc(c.pass, call); fn != nil && fn.Pkg() != nil {
+		switch {
+		case fn.Pkg().Path() == "fmt":
+			c.report(call, "fmt.%s allocates on every call", fn.Name())
+			return
+		case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+			c.report(call, "errors.New allocates: use a package-level sentinel")
+			return
+		}
+	}
+	c.checkBoxing(call)
+}
+
+// checkConversion flags conversions that copy (string/[]byte/[]rune)
+// or box (concrete value to interface).
+func (c *checker) checkConversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	argT := c.typeOf(call.Args[0])
+	if argT == nil || types.Identical(argT, target) {
+		return
+	}
+	if isInterface(target) {
+		if !isInterface(argT) && !pointerShaped(argT) {
+			c.report(call, "conversion of %s to interface %s boxes the value on the heap",
+				argT, target)
+		}
+		return
+	}
+	tb, tOK := target.Underlying().(*types.Basic)
+	fb, fOK := argT.Underlying().(*types.Basic)
+	tSlice, tSliceOK := target.Underlying().(*types.Slice)
+	fSlice, fSliceOK := argT.Underlying().(*types.Slice)
+	switch {
+	case tOK && tb.Info()&types.IsString != 0 && fSliceOK && byteOrRune(fSlice.Elem()):
+		c.report(call, "[]byte/[]rune to string conversion copies")
+	case tSliceOK && byteOrRune(tSlice.Elem()) && fOK && fb.Info()&types.IsString != 0:
+		c.report(call, "string to []byte/[]rune conversion copies")
+	}
+}
+
+// checkBoxing flags implicit interface conversions of
+// non-pointer-shaped arguments — the convT calls behind patterns like
+// heap.Push(h, item).
+func (c *checker) checkBoxing(call *ast.CallExpr) {
+	funT := c.typeOf(call.Fun)
+	if funT == nil {
+		return
+	}
+	sig, ok := funT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramT types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				paramT = s.Elem()
+			}
+		case i < params.Len():
+			paramT = params.At(i).Type()
+		}
+		if paramT == nil || !isInterface(paramT) {
+			continue
+		}
+		tv, ok := c.pass.TypesInfo.Types[arg]
+		if !ok || tv.IsNil() {
+			continue
+		}
+		if isInterface(tv.Type) || pointerShaped(tv.Type) {
+			continue
+		}
+		c.report(arg, "passing %s as interface %s boxes the value on the heap", tv.Type, paramT)
+	}
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// pointerShaped reports whether boxing a value of t into an interface
+// needs no allocation (the value is a single pointer word).
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func byteOrRune(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32
+}
+
+// calleeFunc resolves the called function object, if any.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

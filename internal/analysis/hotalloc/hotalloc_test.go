@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"temporalrank/internal/analysis/analysistest"
+	"temporalrank/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotalloc.Analyzer, "hotalloctest")
+}

@@ -1,0 +1,101 @@
+// Package hotalloctest exercises the //tr:hotpath allocation rules:
+// every flagged construct once, the waiver, the pooled lifecycle, and
+// an unannotated control.
+package hotalloctest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+type item struct{ id, score int }
+
+//tr:hotpath
+func hotBad(n int, s string, sink func(any)) {
+	buf := make([]byte, n) // want `make allocates`
+	_ = buf
+	msg := fmt.Sprintf("%d", n) // want `fmt\.Sprintf allocates on every call`
+	_ = msg + s                 // want `string concatenation allocates`
+	_ = errors.New("x")         // want `errors\.New allocates: use a package-level sentinel`
+	xs := []int{1, 2}           // want `slice literal allocates`
+	_ = xs
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	p := &item{id: n} // want `&composite literal escapes to the heap`
+	_ = p
+	sink(item{id: n}) // want `passing hotalloctest\.item as interface .* boxes the value on the heap`
+	b := []byte(s)    // want `string to \[\]byte/\[\]rune conversion copies`
+	_ = b
+}
+
+//tr:hotpath
+func hotAppend(xs []int, x int) []int {
+	return append(xs, x) // want `append may grow its backing array`
+}
+
+//tr:hotpath
+func hotConcat(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p // want `string \+= allocates`
+	}
+	return out
+}
+
+//tr:hotpath
+func hotConvert(n int) any {
+	return any(n) // want `conversion of int to interface .* boxes the value on the heap`
+}
+
+//tr:hotpath
+func hotString(b []byte) string {
+	return string(b) // want `\[\]byte/\[\]rune to string conversion copies`
+}
+
+//tr:hotpath
+func hotClosure(n int) func() int {
+	return func() int { return n } // want `closure on hot path: a function literal may allocate its captures`
+}
+
+//tr:hotpath
+func hotGo(f func()) {
+	go f() // want `go statement on hot path: spawning a goroutine allocates`
+}
+
+//tr:hotpath
+func hotNew() *item {
+	return new(item) // want `new allocates`
+}
+
+// hotWaived sanctions its cold-path allocation in place; the waiver
+// silences the diagnostic.
+//
+//tr:hotpath
+func hotWaived(n int) []byte {
+	//tr:alloc-ok cold path scratch, reused by the caller
+	return make([]byte, n)
+}
+
+// coldPath is unannotated: it may allocate freely.
+func coldPath(n int, s string) string {
+	b := make([]byte, n)
+	return fmt.Sprintf("%s:%d", s, len(b))
+}
+
+var pool = sync.Pool{New: func() any { return new(item) }}
+
+// The pooled Get/Release lifecycle is allocation-free in steady state
+// and must stay unflagged: Get returns an existing pointer, Put stores
+// a pointer-shaped value (no boxing).
+
+//tr:hotpath
+func getItem() *item {
+	return pool.Get().(*item)
+}
+
+//tr:hotpath
+func putItem(it *item) {
+	it.id, it.score = 0, 0
+	pool.Put(it)
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"temporalrank/internal/analysis/analysistest"
+	"temporalrank/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "blockio", "nodevice")
+}

@@ -1,0 +1,12 @@
+package blockio
+
+// _test.go files are exempt from the lock-ordering rule: test
+// scaffolding may take shortcuts the engine must not. This violation
+// must produce no diagnostic.
+
+func (p *pool) testOnlyHelper(id int) {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p.dev.Alloc()
+}

@@ -1,0 +1,76 @@
+// Package trerrtest exercises the sentinel-comparison and missing-%w
+// rules on both polarities.
+package trerrtest
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrNotFound = errors.New("not found")
+	ErrClosed   = errors.New("closed")
+)
+
+func compare(err error) int {
+	if err == ErrNotFound { // want `comparison with sentinel ErrNotFound breaks on wrapped errors: use errors\.Is\(err, ErrNotFound\)`
+		return 1
+	}
+	if err != ErrClosed { // want `comparison with sentinel ErrClosed breaks on wrapped errors: use !errors\.Is\(err, ErrClosed\)`
+		return 2
+	}
+	if ErrNotFound == err { // want `comparison with sentinel ErrNotFound breaks on wrapped errors`
+		return 3
+	}
+	return 0
+}
+
+func classify(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case ErrNotFound: // want `switch compares error against sentinel ErrNotFound by value`
+		return 1
+	}
+	return 2
+}
+
+// good classifies the approved ways: nil checks and errors.Is.
+func good(err error) bool {
+	if err == nil {
+		return true
+	}
+	return errors.Is(err, ErrNotFound)
+}
+
+// localCompare compares two non-sentinel error values; no sentinel is
+// involved, so nothing is flagged.
+func localCompare(a, b error) bool {
+	return a == b
+}
+
+type scanError struct{ id int }
+
+func (e *scanError) Error() string { return "scan" }
+
+// Is implements the errors.Is protocol: here value equality against
+// the sentinel IS the definition and must not be flagged.
+func (e *scanError) Is(target error) bool {
+	return target == ErrNotFound
+}
+
+func wrapDropped(err error) error {
+	return fmt.Errorf("op failed: %v", err) // want `fmt\.Errorf formats err without %w`
+}
+
+func wrapKept(err error) error {
+	return fmt.Errorf("op failed: %w", err)
+}
+
+func wrapIndexed(err error) error {
+	return fmt.Errorf("op %[1]d failed: %[2]w", 7, err)
+}
+
+func noErrorOperand(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}

@@ -1,0 +1,197 @@
+// Package trerr enforces the typed-sentinel error discipline built
+// around internal/trerr: every layer wraps the shared sentinels, so
+// callers must classify errors with errors.Is, never with pointer
+// equality — and every fmt.Errorf that carries an error must wrap it
+// with %w so the sentinel stays reachable.
+//
+// Flagged:
+//
+//   - err == ErrX / err != ErrX where ErrX is a package-level error
+//     variable (a sentinel), including switch err { case ErrX: }.
+//     Comparisons against nil are fine; so is == inside an
+//     Is(error) bool method, where the equality IS the definition.
+//   - fmt.Errorf with a constant format, at least one error-typed
+//     operand, and no %w verb: the chain is broken and errors.Is can
+//     no longer see through it.
+package trerr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"temporalrank/internal/analysis"
+)
+
+// Analyzer is the trerr analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "trerr",
+	Doc:  "flag sentinel error comparisons that bypass errors.Is and fmt.Errorf calls that drop %w",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	errorIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if insideIsMethod(stack, pass) {
+					return true
+				}
+				checkComparison(pass, errorIface, n.X, n.Y, n.OpPos, n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[n.Tag]
+				if !ok || !types.Implements(tv.Type, errorIface) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name, ok := sentinel(pass, errorIface, e); ok {
+							pass.Reportf(e.Pos(),
+								"switch compares error against sentinel %s by value: use if errors.Is(err, %s) instead",
+								name, name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorf(pass, errorIface, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// insideIsMethod reports whether the innermost enclosing function
+// declaration is an Is(error) bool method — the one place value
+// equality against a sentinel is the point.
+func insideIsMethod(stack []ast.Node, pass *analysis.Pass) bool {
+	var fd *ast.FuncDecl
+	for i := len(stack) - 1; i >= 0 && fd == nil; i-- {
+		fd, _ = stack[i].(*ast.FuncDecl)
+	}
+	if fd == nil || fd.Name.Name != "Is" || fd.Recv == nil {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && sig.Results().Len() == 1
+}
+
+func checkComparison(pass *analysis.Pass, errorIface *types.Interface, x, y ast.Expr, pos token.Pos, op token.Token) {
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		name, ok := sentinel(pass, errorIface, pair[0])
+		if !ok {
+			continue
+		}
+		otherTV, okTV := pass.TypesInfo.Types[pair[1]]
+		if !okTV || otherTV.IsNil() || !types.Implements(otherTV.Type, errorIface) {
+			continue
+		}
+		hint := "errors.Is(%s, %s)"
+		if op == token.NEQ {
+			hint = "!errors.Is(%s, %s)"
+		}
+		pass.Reportf(pos, "comparison with sentinel %s breaks on wrapped errors: use "+hint,
+			name, types.ExprString(pair[1]), name)
+		return
+	}
+}
+
+// sentinel reports whether e names a package-level error variable.
+func sentinel(pass *analysis.Pass, errorIface *types.Interface, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !types.Implements(v.Type(), errorIface) {
+		return "", false
+	}
+	return types.ExprString(e), true
+}
+
+// checkErrorf flags fmt.Errorf calls whose constant format has no %w
+// verb while an error operand is present.
+func checkErrorf(pass *analysis.Pass, errorIface *types.Interface, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	formatTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || formatTV.Value == nil || formatTV.Value.Kind() != constant.String {
+		return
+	}
+	if hasWrapVerb(constant.StringVal(formatTV.Value)) {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if ok && !tv.IsNil() && types.Implements(tv.Type, errorIface) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf formats %s without %%w: the wrapped sentinel becomes invisible to errors.Is",
+				types.ExprString(arg))
+			return
+		}
+	}
+}
+
+// hasWrapVerb reports whether format contains a %w (or %[n]w) verb.
+func hasWrapVerb(format string) bool {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision, and argument indexes.
+		for i < len(format) {
+			c := format[i]
+			if c == '#' || c == '+' || c == '-' || c == ' ' || c == '0' || c == '.' || c == '*' ||
+				c == '[' || c == ']' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) && format[i] == 'w' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package trerr_test
+
+import (
+	"testing"
+
+	"temporalrank/internal/analysis/analysistest"
+	"temporalrank/internal/analysis/trerr"
+)
+
+func TestTrerr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), trerr.Analyzer, "trerrtest")
+}

@@ -2,6 +2,7 @@ package approx
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"temporalrank/internal/blockio"
@@ -106,7 +107,7 @@ func (q *Query1) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
 	// Snap through the top-level tree: first breakpoint >= t1 (clamped
 	// to the last breakpoint when t1 exceeds the domain).
 	cur, err := q.ttop.SearchCeil(t1)
-	if err == bptree.ErrNotFound {
+	if errors.Is(err, bptree.ErrNotFound) {
 		return nil, nil // snapped interval is empty: no scored objects
 	}
 	if err != nil {
@@ -115,7 +116,7 @@ func (q *Query1) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
 	j := int(binary.LittleEndian.Uint32(cur.Value()))
 	// Snap t2 through the lower tree of b_j.
 	lc, err := q.lower[j].SearchCeil(t2)
-	if err == bptree.ErrNotFound {
+	if errors.Is(err, bptree.ErrNotFound) {
 		// B(t2) beyond the last breakpoint: snap down to the last one
 		// (the paper assumes [t1,t2] ⊆ [0,T]; we clamp for robustness).
 		_, v, lerr := q.lower[j].Last()

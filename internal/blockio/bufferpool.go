@@ -152,6 +152,8 @@ func (p *BufferPool) NumShards() int { return len(p.shards) }
 // shardFor stripes a page onto its shard. Page IDs are allocated
 // sequentially, so masking the low bits spreads adjacent pages across
 // different locks.
+//
+//tr:hotpath
 func (p *BufferPool) shardFor(id PageID) *poolShard {
 	return &p.shards[uint64(id)&p.mask]
 }
@@ -178,6 +180,8 @@ func (p *BufferPool) Alloc() (PageID, error) {
 }
 
 // Read implements Device.
+//
+//tr:hotpath
 func (p *BufferPool) Read(id PageID, buf []byte) error {
 	if len(buf) < p.dev.BlockSize() {
 		return ErrShortBuffer
@@ -200,6 +204,7 @@ func (p *BufferPool) Read(id PageID, buf []byte) error {
 	sh.misses++
 	// The fill holds the shard lock across dev.Read (the data-path
 	// order); misses on other shards proceed in parallel.
+	//tr:alloc-ok miss path only: the hit path returned above
 	data := make([]byte, p.dev.BlockSize())
 	if err := p.dev.Read(id, data); err != nil {
 		return err

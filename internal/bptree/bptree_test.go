@@ -2,6 +2,7 @@ package bptree
 
 import (
 	"encoding/binary"
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -30,7 +31,7 @@ func mkEntries(keys []float64) []Entry {
 func collect(t *testing.T, tr *Tree) []float64 {
 	t.Helper()
 	c, err := tr.Min()
-	if err == ErrNotFound {
+	if errors.Is(err, ErrNotFound) {
 		return nil
 	}
 	if err != nil {
@@ -58,10 +59,10 @@ func TestEmptyTree(t *testing.T) {
 	if tr.Len() != 0 || tr.Height() != 1 {
 		t.Errorf("len=%d height=%d", tr.Len(), tr.Height())
 	}
-	if _, err := tr.SearchCeil(0); err != ErrNotFound {
+	if _, err := tr.SearchCeil(0); !errors.Is(err, ErrNotFound) {
 		t.Errorf("SearchCeil on empty = %v, want ErrNotFound", err)
 	}
-	if _, _, err := tr.Last(); err != ErrNotFound {
+	if _, _, err := tr.Last(); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Last on empty = %v, want ErrNotFound", err)
 	}
 }
@@ -152,7 +153,7 @@ func TestSearchCeilSemantics(t *testing.T) {
 			t.Errorf("SearchCeil(%g) = %g, want %g", c.x, cur.Key(), c.want)
 		}
 	}
-	if _, err := tr.SearchCeil(41); err != ErrNotFound {
+	if _, err := tr.SearchCeil(41); !errors.Is(err, ErrNotFound) {
 		t.Errorf("SearchCeil past end = %v, want ErrNotFound", err)
 	}
 	// Duplicate run: first of the duplicates is returned, and scanning
@@ -379,7 +380,7 @@ func TestSearchCeilMatchesReferenceProperty(t *testing.T) {
 			idx := sort.SearchFloat64s(keys, x)
 			c, err := tr.SearchCeil(x)
 			if idx == n {
-				if err != ErrNotFound {
+				if !errors.Is(err, ErrNotFound) {
 					return false
 				}
 				continue

@@ -306,11 +306,18 @@ func (e *Executor) Close() {
 // build failure wins: in-flight builds finish, queued ones are skipped,
 // and that error is returned.
 func BuildIndexes(db *temporalrank.DB, opts []temporalrank.Options, workers int) ([]*temporalrank.Index, error) {
+	return BuildIndexesContext(context.Background(), db, opts, workers)
+}
+
+// BuildIndexesContext is BuildIndexes with a caller-supplied context:
+// cancel it and in-flight builds finish, queued ones are skipped, and
+// the context's error is returned.
+func BuildIndexesContext(ctx context.Context, db *temporalrank.DB, opts []temporalrank.Options, workers int) ([]*temporalrank.Index, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	ixs := make([]*temporalrank.Index, len(opts))
-	err := scatter.Run(context.Background(), len(opts), workers, func(_ context.Context, i int) error {
+	err := scatter.Run(ctx, len(opts), workers, func(_ context.Context, i int) error {
 		ix, err := db.BuildIndex(opts[i])
 		if err != nil {
 			return fmt.Errorf("engine: build %q: %w", opts[i].Method, err)

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"errors"
 	"fmt"
 
 	"temporalrank/internal/blockio"
@@ -173,7 +174,7 @@ func (e *Exact1) runningSums(t1, t2 float64) ([]float64, error) {
 	}
 	sums := make([]float64, e.m)
 	cur, err := e.tree.SearchCeil(t1 - e.maxDur)
-	if err == bptree.ErrNotFound {
+	if errors.Is(err, bptree.ErrNotFound) {
 		return sums, nil
 	}
 	if err != nil {

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -186,7 +187,7 @@ func (e *Exact2) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
 // subtract the part of segment g_L beyond t from the stored prefix.
 func (e *Exact2) sigmaTo(id tsdata.SeriesID, t float64) (float64, error) {
 	cur, err := e.trees[id].SearchCeil(t)
-	if err == bptree.ErrNotFound {
+	if errors.Is(err, bptree.ErrNotFound) {
 		// t is past the last key: the object's domain was clamped, so
 		// this is only reachable through floating-point equality edge
 		// cases; the full prefix applies.

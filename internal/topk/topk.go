@@ -43,6 +43,8 @@ var collectorPool = sync.Pool{New: func() any { return new(Collector) }}
 
 // GetCollector returns a pooled collector reset for the top k items.
 // Release it with Release once its Results have been copied out.
+//
+//tr:hotpath
 func GetCollector(k int) *Collector {
 	c := collectorPool.Get().(*Collector)
 	c.Reset(k)
@@ -51,12 +53,15 @@ func GetCollector(k int) *Collector {
 
 // Reset empties the collector and re-arms it for k, keeping the backing
 // array when it is large enough.
+//
+//tr:hotpath
 func (c *Collector) Reset(k int) {
 	if k < 1 {
 		k = 1
 	}
 	c.k = k
 	if cap(c.items) < k+1 {
+		//tr:alloc-ok one-time growth: steady-state pool reuse keeps the array
 		c.items = make(minHeap, 0, k+1)
 	} else {
 		c.items = c.items[:0]
@@ -66,6 +71,8 @@ func (c *Collector) Reset(k int) {
 // Release returns the collector to the pool. The collector must not be
 // used afterwards; Results() output remains valid (it is always a
 // copy).
+//
+//tr:hotpath
 func (c *Collector) Release() { collectorPool.Put(c) }
 
 // K returns the configured bound.

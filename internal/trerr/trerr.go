@@ -24,4 +24,13 @@ var (
 
 	// ErrBadInterval reports a non-finite or inverted query interval.
 	ErrBadInterval = errors.New("bad query interval")
+
+	// ErrBadConfig reports constructor misuse: a nil DB or index, an
+	// invalid shard count, an index built over a different DB, or a
+	// partitioner that maps a series outside its shard table.
+	ErrBadConfig = errors.New("bad configuration")
+
+	// ErrNoInput reports a constructor given an empty dataset (no
+	// series, no objects).
+	ErrNoInput = errors.New("no input data")
 )

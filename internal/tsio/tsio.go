@@ -57,15 +57,15 @@ func ReadCSV(r io.Reader) (*tsdata.Dataset, error) {
 		}
 		id, err := strconv.Atoi(strings.TrimSpace(parts[0]))
 		if err != nil {
-			return nil, fmt.Errorf("tsio: line %d: bad id: %v", lineNo, err)
+			return nil, fmt.Errorf("tsio: line %d: bad id: %w", lineNo, err)
 		}
 		t, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
 		if err != nil {
-			return nil, fmt.Errorf("tsio: line %d: bad time: %v", lineNo, err)
+			return nil, fmt.Errorf("tsio: line %d: bad time: %w", lineNo, err)
 		}
 		v, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
 		if err != nil {
-			return nil, fmt.Errorf("tsio: line %d: bad value: %v", lineNo, err)
+			return nil, fmt.Errorf("tsio: line %d: bad value: %w", lineNo, err)
 		}
 		if id < 0 {
 			return nil, fmt.Errorf("tsio: line %d: negative id %d", lineNo, id)

@@ -34,7 +34,7 @@ func ModuloPartition(id, shards int) int { return id % shards }
 func checkPartition(p Partitioner, id, shards int) (int, error) {
 	s := p(id, shards)
 	if s < 0 || s >= shards {
-		return 0, fmt.Errorf("temporalrank: partitioner put series %d on shard %d, want [0,%d)", id, s, shards)
+		return 0, fmt.Errorf("temporalrank: partitioner put series %d on shard %d, want [0,%d): %w", id, s, shards, ErrBadConfig)
 	}
 	return s, nil
 }

@@ -84,7 +84,7 @@ func (p *Planner) CacheStats() (stats CacheStats, ok bool) {
 // brute-force reference.
 func NewPlanner(db *DB, indexes ...*Index) (*Planner, error) {
 	if db == nil {
-		return nil, fmt.Errorf("temporalrank: planner needs a DB")
+		return nil, fmt.Errorf("temporalrank: planner needs a DB: %w", ErrBadConfig)
 	}
 	p := &Planner{db: db}
 	for _, ix := range indexes {
@@ -99,10 +99,10 @@ func NewPlanner(db *DB, indexes ...*Index) (*Planner, error) {
 // planner's DB so all routes answer from the same data.
 func (p *Planner) AddIndex(ix *Index) error {
 	if ix == nil {
-		return fmt.Errorf("temporalrank: planner: nil index")
+		return fmt.Errorf("temporalrank: planner: nil index: %w", ErrBadConfig)
 	}
 	if ix.db != p.db {
-		return fmt.Errorf("temporalrank: planner: index %s built over a different DB", ix.Method())
+		return fmt.Errorf("temporalrank: planner: index %s built over a different DB: %w", ix.Method(), ErrBadConfig)
 	}
 	p.mu.Lock()
 	p.indexes = append(p.indexes, ix)
@@ -243,6 +243,8 @@ func (p *Planner) cheapest(q Query, wantApprox bool) *Index {
 // fresh answer stored under the old version); it can never cause a
 // stale answer, because post-append callers observe the bumped version
 // and miss.
+//
+//tr:hotpath
 func (p *Planner) Run(ctx context.Context, q Query) (Answer, error) {
 	q = q.withDefaults()
 	if err := q.Validate(); err != nil {
@@ -254,6 +256,7 @@ func (p *Planner) Run(ctx context.Context, q Query) (Answer, error) {
 	if cache == nil {
 		return p.Plan(q).Run(ctx, q)
 	}
+	//tr:alloc-ok miss-only closure: on the cached path Do returns before calling it
 	ans, _, err := cache.Do(ctx, q.cacheKey(), p.db.version.Load(), func() (Answer, error) {
 		return p.Plan(q).Run(ctx, q)
 	})

@@ -105,6 +105,8 @@ type queryKey [41]byte
 // byte-identical after canonicalization. The zero Agg collapses onto
 // AggSum and an instant query's ignored T2 is canonicalized away, so
 // spelling variants of the same request hit the same entry.
+//
+//tr:hotpath
 func (q Query) cacheKey() queryKey {
 	q = q.withDefaults()
 	if q.Agg == AggInstant {

@@ -113,7 +113,7 @@ type DB struct {
 // NewDB validates and assembles a database from raw series.
 func NewDB(series []SeriesInput) (*DB, error) {
 	if len(series) == 0 {
-		return nil, fmt.Errorf("temporalrank: no series given")
+		return nil, fmt.Errorf("temporalrank: no series given: %w", ErrNoInput)
 	}
 	ss := make([]*tsdata.Series, len(series))
 	for i, in := range series {

@@ -1,0 +1,48 @@
+// The dynamic backstop for the //tr:hotpath annotations: the static
+// hotalloc analyzer waives sanctioned allocations line by line, and
+// this test proves the waivers honest by measuring the cached read
+// path end to end. CI enforces the same property on
+// BenchmarkPlannerCachedRun/cached via -benchmem.
+//
+// The race detector instruments allocations, so the measurement only
+// holds in a normal build.
+//
+//go:build !race
+
+package temporalrank_test
+
+import (
+	"context"
+	"testing"
+
+	"temporalrank"
+)
+
+// TestPlannerCachedRunZeroAllocs asserts the steady-state cached
+// Planner.Run path — cacheKey, the qcache hit, the version load —
+// allocates nothing per query.
+func TestPlannerCachedRunZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	db, p := benchPlanner(t, 64)
+	span := db.Span()
+	qs := make([]temporalrank.Query, 8)
+	for i := range qs {
+		t1 := db.Start() + span*float64(i)/16
+		qs[i] = temporalrank.SumQuery(10, t1, t1+span/4)
+	}
+	for _, q := range qs {
+		if _, err := p.Run(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := p.Run(ctx, qs[i%len(qs)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("cached Planner.Run allocates %.1f allocs/op, want 0", allocs)
+	}
+}
