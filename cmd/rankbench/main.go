@@ -9,6 +9,8 @@
 //	rankbench -fig updates -queries 20
 //	rankbench -cluster-bench BENCH_cluster.json   # 1- vs 8-shard scatter-gather
 //	rankbench -serve-bench BENCH_serve.json -serve-concurrency 8
+//	rankbench -restart-bench BENCH_restart.json   # rebuild vs snapshot restore
+//	rankbench -snapshot-write snapdir/ && rankbench -snapshot-check snapdir/
 //
 // Figures: 11 12 13 14 15 16 17 18 19 20 updates ablations all
 //
@@ -22,6 +24,15 @@
 // cache hit ratio), plus the lock-striped buffer pool against the seed
 // single-mutex pool on a concurrent read workload. The report is the
 // BENCH_serve.json trajectory artifact.
+//
+// -restart-bench measures cold-start cost across dataset sizes:
+// building every index from the raw dataset versus restoring the same
+// state from a durable snapshot (restore replays saved pages, it never
+// rebuilds). The report is the BENCH_restart.json trajectory artifact.
+// -snapshot-write / -snapshot-check are the CI restart smoke: the
+// write half checkpoints a deterministic cluster and records probe
+// answers; the check half restores it in a fresh process and verifies
+// every answer bit for bit.
 package main
 
 import (
@@ -53,6 +64,9 @@ func main() {
 		sdistinct = flag.Int("serve-distinct", 64, "distinct query templates for -serve-bench")
 		szipf     = flag.Float64("serve-zipf", 1.2, "zipf skew for -serve-bench query repetition (> 1)")
 		scache    = flag.Int("serve-cache", 256, "result cache entries for the cached -serve-bench run")
+		rstBench  = flag.String("restart-bench", "", "write the rebuild-vs-restore cold-start benchmark (across dataset sizes) to this JSON file instead of running figures")
+		snapWrite = flag.String("snapshot-write", "", "build a small deterministic cluster, checkpoint it into this directory, and record probe answers (CI restart smoke, write half)")
+		snapCheck = flag.String("snapshot-check", "", "restore the cluster written by -snapshot-write from this directory in a fresh process and verify every recorded probe answer (CI restart smoke, check half)")
 	)
 	flag.Parse()
 
@@ -86,6 +100,27 @@ func main() {
 		p.BlockSize = *blockSize
 	}
 
+	if *rstBench != "" {
+		if err := runRestartBench(*rstBench, p); err != nil {
+			fmt.Fprintln(os.Stderr, "rankbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *snapWrite != "" {
+		if err := runSnapshotWrite(*snapWrite, p); err != nil {
+			fmt.Fprintln(os.Stderr, "rankbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *snapCheck != "" {
+		if err := runSnapshotCheck(*snapCheck, p); err != nil {
+			fmt.Fprintln(os.Stderr, "rankbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *cbench != "" {
 		if err := runClusterBench(*cbench, p); err != nil {
 			fmt.Fprintln(os.Stderr, "rankbench:", err)

@@ -1,0 +1,315 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"temporalrank"
+	"temporalrank/internal/exp"
+	"temporalrank/internal/gen"
+)
+
+// restartMethods is the index set every restart measurement builds and
+// restores: the strongest exact index plus an approximate one, the
+// configuration a production rankserver would run.
+var restartMethods = []temporalrank.Options{
+	{Method: temporalrank.MethodExact3},
+	{Method: temporalrank.MethodAppx2},
+}
+
+// restartRun is one dataset size's rebuild-vs-restore measurement.
+type restartRun struct {
+	Objects       int     `json:"objects"`
+	AvgSegments   int     `json:"avg_segments"`
+	Segments      int     `json:"segments"`
+	BuildMS       float64 `json:"build_ms"`
+	CheckpointMS  float64 `json:"checkpoint_ms"`
+	RestoreMS     float64 `json:"restore_ms"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	Speedup       float64 `json:"speedup"` // build_ms / restore_ms
+}
+
+// restartReport is the BENCH_restart.json artifact: cold-start cost of
+// rebuilding every index from the raw dataset versus restoring a
+// checkpoint, across dataset sizes.
+type restartReport struct {
+	Methods []string     `json:"methods"`
+	Shards  int          `json:"shards"`
+	Runs    []restartRun `json:"runs"`
+}
+
+// runRestartBench measures, for each dataset size, (a) the time to
+// build the cluster's indexes from the raw dataset — what every boot
+// pays today — and (b) the time to restore the same state from a
+// checkpoint, verifying the restored cluster answers a probe query
+// identically before trusting the numbers.
+func runRestartBench(path string, p exp.Params) error {
+	sizes := []struct{ m, navg int }{
+		{p.M / 4, p.Navg},
+		{p.M, p.Navg},
+		{p.M * 4, p.Navg},
+	}
+	report := restartReport{Shards: 1}
+	for _, o := range restartMethods {
+		report.Methods = append(report.Methods, string(o.Method))
+	}
+	dir, err := os.MkdirTemp("", "rankbench-restart-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	for i, sz := range sizes {
+		ds, err := gen.RandomWalk(gen.RandomWalkConfig{M: sz.m, Navg: sz.navg, Seed: p.Seed, Span: 1000})
+		if err != nil {
+			return err
+		}
+		db := temporalrank.NewDBFromDataset(ds)
+
+		buildStart := time.Now()
+		c, err := temporalrank.NewClusterFromDB(db, temporalrank.ClusterOptions{
+			Shards:  1,
+			Indexes: restartMethods,
+		})
+		if err != nil {
+			return fmt.Errorf("restart bench build m=%d: %w", sz.m, err)
+		}
+		buildMS := float64(time.Since(buildStart)) / float64(time.Millisecond)
+
+		snapDir := filepath.Join(dir, fmt.Sprintf("size-%d", i))
+		ckStart := time.Now()
+		if err := c.Checkpoint(snapDir); err != nil {
+			return fmt.Errorf("restart bench checkpoint m=%d: %w", sz.m, err)
+		}
+		ckMS := float64(time.Since(ckStart)) / float64(time.Millisecond)
+		bytes, err := dirBytes(snapDir)
+		if err != nil {
+			return err
+		}
+
+		restoreStart := time.Now()
+		restored, err := temporalrank.OpenClusterSnapshot(snapDir, temporalrank.ClusterOptions{})
+		if err != nil {
+			return fmt.Errorf("restart bench restore m=%d: %w", sz.m, err)
+		}
+		restoreMS := float64(time.Since(restoreStart)) / float64(time.Millisecond)
+
+		if err := compareClusters(c, restored, p.Seed); err != nil {
+			return fmt.Errorf("restart bench m=%d: %w", sz.m, err)
+		}
+
+		run := restartRun{
+			Objects:       sz.m,
+			AvgSegments:   sz.navg,
+			Segments:      db.NumSegments(),
+			BuildMS:       buildMS,
+			CheckpointMS:  ckMS,
+			RestoreMS:     restoreMS,
+			SnapshotBytes: bytes,
+			Speedup:       buildMS / restoreMS,
+		}
+		report.Runs = append(report.Runs, run)
+		fmt.Printf("restart m=%d navg=%d: build %.1fms, checkpoint %.1fms, restore %.1fms (%.0fx)\n",
+			sz.m, sz.navg, buildMS, ckMS, restoreMS, run.Speedup)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dirBytes sums the sizes of the snapshot files under dir.
+func dirBytes(dir string) (int64, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, temporalrank.SnapshotFilePattern))
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil {
+			return 0, err
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}
+
+// smokeQueries derives a deterministic probe workload from a cluster's
+// time domain: a handful of sum/avg/instant queries spread across it.
+func smokeQueries(start, end float64, k int, seed int64) []temporalrank.Query {
+	rng := rand.New(rand.NewSource(seed))
+	span := end - start
+	qs := []temporalrank.Query{
+		temporalrank.SumQuery(k, start, end),
+		temporalrank.AvgQuery(k, start, end),
+		temporalrank.InstantQuery(k, start+span/2),
+	}
+	for i := 0; i < 5; i++ {
+		t1 := start + rng.Float64()*span*0.7
+		t2 := t1 + rng.Float64()*span*0.3
+		qs = append(qs, temporalrank.SumQuery(k, t1, t2), temporalrank.AvgQuery(k, t1, t2))
+	}
+	return qs
+}
+
+// compareClusters requires the two clusters to answer the probe
+// workload identically, bit for bit — restore replays saved state, it
+// does not recompute, so even float scores must match exactly.
+func compareClusters(want, got *temporalrank.Cluster, seed int64) error {
+	ctx := context.Background()
+	for _, q := range smokeQueries(want.Start(), want.End(), 10, seed) {
+		a, err := want.Run(ctx, q)
+		if err != nil {
+			return fmt.Errorf("probe on original: %w", err)
+		}
+		b, err := got.Run(ctx, q)
+		if err != nil {
+			return fmt.Errorf("probe on restored: %w", err)
+		}
+		if err := sameAnswer(a.Results, b.Results); err != nil {
+			return fmt.Errorf("restored cluster diverges on %+v: %w", q, err)
+		}
+	}
+	return nil
+}
+
+func sameAnswer(want, got []temporalrank.Result) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%d vs %d results", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID || want[i].Score != got[i].Score {
+			return fmt.Errorf("rank %d: want %d/%v, got %d/%v",
+				i, want[i].ID, want[i].Score, got[i].ID, got[i].Score)
+		}
+	}
+	return nil
+}
+
+// smokeAnswer is one probe query and its expected ranking, recorded by
+// -snapshot-write and re-checked by -snapshot-check in a fresh process.
+type smokeAnswer struct {
+	Agg    string   `json:"agg"`
+	K      int      `json:"k"`
+	T1     float64  `json:"t1"`
+	T2     float64  `json:"t2"`
+	IDs    []int    `json:"ids"`
+	Scores []uint64 `json:"scores"` // math.Float64bits, so JSON cannot blur equality
+}
+
+// smokeManifest is the expected.json sidecar -snapshot-write leaves
+// next to the shard files.
+type smokeManifest struct {
+	Shards  int           `json:"shards"`
+	Answers []smokeAnswer `json:"answers"`
+}
+
+const smokeManifestName = "expected.json"
+
+// runSnapshotWrite builds a small deterministic cluster, checkpoints it
+// into dir, and records the answers to a probe workload so a separate
+// process (-snapshot-check) can verify the restore end to end.
+func runSnapshotWrite(dir string, p exp.Params) error {
+	ds, err := gen.RandomWalk(gen.RandomWalkConfig{M: p.M, Navg: p.Navg, Seed: p.Seed, Span: 1000})
+	if err != nil {
+		return err
+	}
+	c, err := temporalrank.NewClusterFromDB(temporalrank.NewDBFromDataset(ds), temporalrank.ClusterOptions{
+		Shards:  2,
+		Indexes: restartMethods,
+	})
+	if err != nil {
+		return err
+	}
+	if err := c.Checkpoint(dir); err != nil {
+		return err
+	}
+	man := smokeManifest{Shards: c.NumShards()}
+	ctx := context.Background()
+	for _, q := range smokeQueries(c.Start(), c.End(), p.K, p.Seed) {
+		ans, err := c.Run(ctx, q)
+		if err != nil {
+			return err
+		}
+		sa := smokeAnswer{Agg: string(q.Agg), K: q.K, T1: q.T1, T2: q.T2}
+		for _, r := range ans.Results {
+			sa.IDs = append(sa.IDs, r.ID)
+			sa.Scores = append(sa.Scores, math.Float64bits(r.Score))
+		}
+		man.Answers = append(man.Answers, sa)
+	}
+	f, err := os.Create(filepath.Join(dir, smokeManifestName))
+	if err != nil {
+		return err
+	}
+	if err := json.NewEncoder(f).Encode(man); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot written to %s (%d shards, %d probe answers recorded)\n",
+		dir, man.Shards, len(man.Answers))
+	return nil
+}
+
+// runSnapshotCheck restores the cluster written by -snapshot-write in
+// this (fresh) process and requires every recorded probe answer to
+// match bit for bit. Nonzero exit on any divergence.
+func runSnapshotCheck(dir string, p exp.Params) error {
+	f, err := os.Open(filepath.Join(dir, smokeManifestName))
+	if err != nil {
+		return err
+	}
+	var man smokeManifest
+	err = json.NewDecoder(f).Decode(&man)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	restoreStart := time.Now()
+	c, err := temporalrank.OpenClusterSnapshot(dir, temporalrank.ClusterOptions{})
+	if err != nil {
+		return err
+	}
+	restoreMS := float64(time.Since(restoreStart)) / float64(time.Millisecond)
+	if c.NumShards() != man.Shards {
+		return fmt.Errorf("restored %d shards, want %d", c.NumShards(), man.Shards)
+	}
+	ctx := context.Background()
+	for _, sa := range man.Answers {
+		q := temporalrank.Query{Agg: temporalrank.Agg(sa.Agg), K: sa.K, T1: sa.T1, T2: sa.T2}
+		ans, err := c.Run(ctx, q)
+		if err != nil {
+			return fmt.Errorf("probe %+v: %w", q, err)
+		}
+		if len(ans.Results) != len(sa.IDs) {
+			return fmt.Errorf("probe %+v: %d results, want %d", q, len(ans.Results), len(sa.IDs))
+		}
+		for i, r := range ans.Results {
+			if r.ID != sa.IDs[i] || math.Float64bits(r.Score) != sa.Scores[i] {
+				return fmt.Errorf("probe %+v rank %d: got %d/%v, want %d/%v",
+					q, i, r.ID, r.Score, sa.IDs[i], math.Float64frombits(sa.Scores[i]))
+			}
+		}
+	}
+	fmt.Printf("snapshot check ok: %d shards restored in %.1fms, %d probe answers match\n",
+		man.Shards, restoreMS, len(man.Answers))
+	return nil
+}

@@ -9,6 +9,19 @@
 //	rankserver -data temp.csv -method EXACT3 -addr :8080
 //	rankserver -gen 500x80 -method EXACT3,APPX2+ -workers 16
 //	rankserver -gen 5000x80 -method EXACT3 -shards 8
+//	rankserver -gen 5000x80 -method EXACT3 -data snapdir/
+//
+// When -data names a directory instead of a file, the server runs in
+// durable mode: on boot it restores the directory's per-shard snapshot
+// files (shard-*.trsnap) into a fully queryable cluster — no index is
+// rebuilt, so restart time is IO-bound, not compute-bound — and falls
+// back to -gen only when the directory holds no snapshot yet. A
+// snapshot generation is written on graceful shutdown (SIGINT/SIGTERM)
+// and on demand via POST /checkpoint; each shard file commits
+// atomically, so a crash mid-checkpoint loses at most the new
+// generation, never the previous one. In durable mode the restored
+// snapshot fixes the shard count and index set, and -method/-shards/-r
+// are ignored on restore.
 //
 // With several -method values each shard's Planner routes queries to
 // the cheapest index satisfying their error tolerance (the eps
@@ -25,6 +38,7 @@
 //	GET  /instant?k=10&t=75        instant top-k(t)  (deprecated: /query)
 //	GET  /score?id=3&t1=50&t2=120  one object's σ(t1,t2); 404 not_materialized
 //	POST /append                    {"id":3,"t":130.5,"v":42.0} routed to the owning shard
+//	POST /checkpoint                write a durable snapshot generation now (-data DIR mode)
 //	GET  /stats                     dataset + per-shard + per-index + engine statistics
 //	GET  /healthz                   liveness probe
 //
@@ -42,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -54,7 +69,7 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
-		data    = flag.String("data", "", "dataset path (CSV, or TRK1 with -binary)")
+		data    = flag.String("data", "", "dataset path (CSV, or TRK1 with -binary), or a snapshot directory for durable restore/checkpoint")
 		binary  = flag.Bool("binary", false, "dataset is TRK1 binary")
 		genSpec = flag.String("gen", "", "generate a synthetic dataset instead of loading: MxN (objects x avg segments), e.g. 500x80")
 		seed    = flag.Int64("seed", 1, "seed for -gen")
@@ -78,56 +93,91 @@ func main() {
 }
 
 func run(addr, data string, binary bool, genSpec string, seed int64, methods string, r, kmax, cache, workers, build, shards, shardWorkers, resultCache int, pprofAddr string, timeout time.Duration) error {
-	db, err := loadDB(data, binary, genSpec, seed)
+	snapDir, err := snapshotDir(data, genSpec)
 	if err != nil {
 		return err
 	}
-	log.Printf("loaded %d objects, %d segments, domain [%g, %g]",
-		db.NumSeries(), db.NumSegments(), db.Start(), db.End())
-
-	var opts []temporalrank.Options
-	for _, m := range strings.Split(methods, ",") {
-		m = strings.TrimSpace(m)
-		if m == "" {
-			continue
-		}
-		opts = append(opts, temporalrank.Options{
-			Method:       temporalrank.Method(m),
-			TargetR:      r,
-			KMax:         kmax,
-			CacheBlocks:  cache,
-			BuildWorkers: build,
+	var cluster *temporalrank.Cluster
+	if snapDir != "" && hasSnapshotFiles(snapDir) {
+		restoreStart := time.Now()
+		cluster, err = temporalrank.OpenClusterSnapshot(snapDir, temporalrank.ClusterOptions{
+			Workers:     shardWorkers,
+			ResultCache: resultCache,
 		})
-	}
-	if len(opts) == 0 {
-		return fmt.Errorf("-method must name at least one index")
-	}
-	buildStart := time.Now()
-	cluster, err := temporalrank.NewClusterFromDB(db, temporalrank.ClusterOptions{
-		Shards:      shards,
-		Indexes:     opts,
-		Workers:     shardWorkers,
-		ResultCache: resultCache,
-	})
-	if err != nil {
-		return err
-	}
-	cst := cluster.Stats()
-	for i, sst := range cst.PerShard {
-		pages, bytes := 0, int64(0)
-		for _, ist := range sst.Indexes {
-			pages += ist.Pages
-			bytes += ist.Bytes
+		if err != nil {
+			return fmt.Errorf("restore snapshot %s: %w", snapDir, err)
 		}
-		log.Printf("shard %d: %d objects, %d segments, %d index pages (%d bytes)",
-			i, sst.Objects, sst.Segments, pages, bytes)
+		log.Printf("restored %d shards (%d objects, %d segments) from %s in %v — no index rebuilt",
+			cluster.NumShards(), cluster.NumSeries(), cluster.NumSegments(),
+			snapDir, time.Since(restoreStart).Round(time.Millisecond))
+	} else {
+		dataFile := data
+		if snapDir != "" {
+			dataFile = "" // -data is the snapshot target, -gen is the source
+		}
+		db, err := loadDB(dataFile, binary, genSpec, seed)
+		if err != nil {
+			return err
+		}
+		log.Printf("loaded %d objects, %d segments, domain [%g, %g]",
+			db.NumSeries(), db.NumSegments(), db.Start(), db.End())
+
+		var opts []temporalrank.Options
+		for _, m := range strings.Split(methods, ",") {
+			m = strings.TrimSpace(m)
+			if m == "" {
+				continue
+			}
+			opts = append(opts, temporalrank.Options{
+				Method:       temporalrank.Method(m),
+				TargetR:      r,
+				KMax:         kmax,
+				CacheBlocks:  cache,
+				BuildWorkers: build,
+			})
+		}
+		if len(opts) == 0 {
+			return fmt.Errorf("-method must name at least one index")
+		}
+		buildStart := time.Now()
+		cluster, err = temporalrank.NewClusterFromDB(db, temporalrank.ClusterOptions{
+			Shards:      shards,
+			Indexes:     opts,
+			Workers:     shardWorkers,
+			ResultCache: resultCache,
+		})
+		if err != nil {
+			return err
+		}
+		cst := cluster.Stats()
+		for i, sst := range cst.PerShard {
+			pages, bytes := 0, int64(0)
+			for _, ist := range sst.Indexes {
+				pages += ist.Pages
+				bytes += ist.Bytes
+			}
+			log.Printf("shard %d: %d objects, %d segments, %d index pages (%d bytes)",
+				i, sst.Objects, sst.Segments, pages, bytes)
+		}
+		log.Printf("%d shards x %d indexes built in %v",
+			cst.Shards, len(opts), time.Since(buildStart).Round(time.Millisecond))
+		if snapDir != "" {
+			// Prime the directory so the next boot restores instead of
+			// rebuilding, even if the process dies ungracefully later.
+			primeStart := time.Now()
+			if err := cluster.Checkpoint(snapDir); err != nil {
+				return fmt.Errorf("initial checkpoint to %s: %w", snapDir, err)
+			}
+			log.Printf("checkpointed to %s in %v", snapDir, time.Since(primeStart).Round(time.Millisecond))
+		}
 	}
-	log.Printf("%d shards x %d indexes built in %v",
-		cst.Shards, len(opts), time.Since(buildStart).Round(time.Millisecond))
 
 	srv, err := newServer(cluster, workers, timeout)
 	if err != nil {
 		return err
+	}
+	if snapDir != "" {
+		srv.enableCheckpoint(snapDir)
 	}
 	defer srv.Close()
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
@@ -161,7 +211,50 @@ func run(addr, data string, binary bool, genSpec string, seed int64, methods str
 	log.Print("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	return httpSrv.Shutdown(shutdownCtx)
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if snapDir != "" {
+		elapsed, err := srv.checkpointNow()
+		if err != nil {
+			return fmt.Errorf("shutdown checkpoint to %s: %w", snapDir, err)
+		}
+		log.Printf("checkpointed to %s in %v", snapDir, elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+// snapshotDir decides whether -data names a durable snapshot directory
+// rather than a dataset file: an existing directory always does, and a
+// nonexistent path does when -gen supplies the initial data (the
+// directory is created). An existing file is a dataset, as before.
+func snapshotDir(data, genSpec string) (string, error) {
+	if data == "" {
+		return "", nil
+	}
+	fi, err := os.Stat(data)
+	switch {
+	case err == nil && fi.IsDir():
+		return data, nil
+	case err == nil:
+		return "", nil // regular file: legacy dataset path
+	case os.IsNotExist(err) && genSpec != "":
+		if err := os.MkdirAll(data, 0o755); err != nil {
+			return "", fmt.Errorf("create snapshot directory: %w", err)
+		}
+		return data, nil
+	case os.IsNotExist(err):
+		return "", nil // let loadDB report the missing dataset file
+	default:
+		return "", err
+	}
+}
+
+// hasSnapshotFiles reports whether dir holds at least one per-shard
+// snapshot file to restore from.
+func hasSnapshotFiles(dir string) bool {
+	matches, err := filepath.Glob(filepath.Join(dir, temporalrank.SnapshotFilePattern))
+	return err == nil && len(matches) > 0
 }
 
 func loadDB(data string, binary bool, genSpec string, seed int64) (*temporalrank.DB, error) {

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -492,5 +493,123 @@ func TestLoadDBGen(t *testing.T) {
 	}
 	if _, err := loadDB("", false, "", 2); err == nil {
 		t.Fatal("missing -data and -gen should fail")
+	}
+}
+
+// TestCheckpointEndpointAndRestore exercises the durable-snapshot
+// lifecycle: POST /checkpoint writes per-shard files, a fresh server
+// restores them (the restart path), and the restored server answers
+// queries identically to the original.
+func TestCheckpointEndpointAndRestore(t *testing.T) {
+	srv, db, ts := testShardedServer(t, 2, temporalrank.MethodExact3)
+
+	// Without -data DIR the endpoint must refuse, not write anywhere.
+	resp, err := http.Post(ts.URL+"/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint without snapshot dir: status %d, want 409", resp.StatusCode)
+	}
+
+	dir := t.TempDir()
+	srv.enableCheckpoint(dir)
+	var ck struct {
+		Status string `json:"status"`
+		Dir    string `json:"dir"`
+	}
+	resp, err = http.Post(ts.URL+"/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ck); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ck.Status != "checkpointed" {
+		t.Fatalf("checkpoint: status %d body %+v", resp.StatusCode, ck)
+	}
+	if !hasSnapshotFiles(dir) {
+		t.Fatalf("no snapshot files in %s after /checkpoint", dir)
+	}
+
+	// "Restart": restore into a second server process's stack.
+	restored, err := temporalrank.OpenClusterSnapshot(dir, temporalrank.ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := newServer(restored, 4, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer func() {
+		ts2.Close()
+		srv2.Close()
+	}()
+
+	span := db.End() - db.Start()
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		t1 := db.Start() + rng.Float64()*span*0.7
+		t2 := t1 + rng.Float64()*span*0.3
+		url := fmt.Sprintf("/query?agg=sum&k=5&t1=%g&t2=%g", t1, t2)
+		var a, b struct {
+			Results []struct {
+				ID    int     `json:"id"`
+				Score float64 `json:"score"`
+			} `json:"results"`
+		}
+		if code := getJSON(t, ts.URL+url, &a); code != http.StatusOK {
+			t.Fatalf("original %s: status %d", url, code)
+		}
+		if code := getJSON(t, ts2.URL+url, &b); code != http.StatusOK {
+			t.Fatalf("restored %s: status %d", url, code)
+		}
+		if len(a.Results) != len(b.Results) {
+			t.Fatalf("%s: %d vs %d results", url, len(a.Results), len(b.Results))
+		}
+		for i := range a.Results {
+			if a.Results[i] != b.Results[i] {
+				t.Fatalf("%s rank %d: original %+v, restored %+v", url, i, a.Results[i], b.Results[i])
+			}
+		}
+	}
+
+	// Appends keep working on the restored stack (frontiers survived).
+	body := bytes.NewBufferString(fmt.Sprintf(`{"id":0,"t":%g,"v":1.5}`, db.End()+1))
+	resp, err = http.Post(ts2.URL+"/append", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append on restored server: status %d", resp.StatusCode)
+	}
+}
+
+// TestSnapshotDirDetection pins the -data disambiguation rules.
+func TestSnapshotDirDetection(t *testing.T) {
+	dir := t.TempDir()
+	if got, err := snapshotDir(dir, ""); err != nil || got != dir {
+		t.Fatalf("existing dir: got (%q, %v)", got, err)
+	}
+	file := dir + "/data.csv"
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := snapshotDir(file, "10x10"); err != nil || got != "" {
+		t.Fatalf("existing file: got (%q, %v), want legacy dataset mode", got, err)
+	}
+	fresh := dir + "/snaps"
+	if got, err := snapshotDir(fresh, "10x10"); err != nil || got != fresh {
+		t.Fatalf("fresh path with -gen: got (%q, %v)", got, err)
+	}
+	if fi, err := os.Stat(fresh); err != nil || !fi.IsDir() {
+		t.Fatalf("fresh snapshot dir was not created: %v", err)
+	}
+	if got, err := snapshotDir(dir+"/missing.csv", ""); err != nil || got != "" {
+		t.Fatalf("missing path without -gen: got (%q, %v)", got, err)
 	}
 }

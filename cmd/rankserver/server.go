@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"temporalrank"
@@ -37,6 +38,14 @@ type server struct {
 	mux     *http.ServeMux
 	timeout time.Duration
 	start   time.Time
+
+	// snapDir, when set by enableCheckpoint, is the durable snapshot
+	// directory POST /checkpoint and the shutdown path write to. snapMu
+	// serializes checkpoints: the paged store is single-writer per
+	// device, so a signal-triggered checkpoint must not interleave with
+	// an endpoint-triggered one on the same files.
+	snapDir string
+	snapMu  sync.Mutex
 }
 
 func newServer(cluster *temporalrank.Cluster, workers int, timeout time.Duration) (*server, error) {
@@ -63,10 +72,48 @@ func newServer(cluster *temporalrank.Cluster, workers int, timeout time.Duration
 	s.mux.HandleFunc("GET /score", s.handleScore)
 	s.mux.HandleFunc("POST /append", s.handleAppend)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return s, nil
+}
+
+// enableCheckpoint arms the durable-snapshot paths (POST /checkpoint
+// and the shutdown checkpoint) with their target directory.
+func (s *server) enableCheckpoint(dir string) { s.snapDir = dir }
+
+// checkpointNow writes one snapshot generation for every shard,
+// serialized against concurrent checkpoint requests. Queries keep
+// running throughout (the checkpoint holds only shared locks); appends
+// to a shard wait for that shard's write.
+func (s *server) checkpointNow() (time.Duration, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	start := time.Now()
+	if err := s.cluster.Checkpoint(s.snapDir); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// handleCheckpoint serves POST /checkpoint: write a durable snapshot
+// generation now. 409 when the server runs without -data dir.
+func (s *server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if s.snapDir == "" {
+		writeError(w, http.StatusConflict, fmt.Errorf("no snapshot directory configured (run with -data DIR)"))
+		return
+	}
+	elapsed, err := s.checkpointNow()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "checkpointed",
+		"dir":        s.snapDir,
+		"elapsed_ns": int64(elapsed),
+	})
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }

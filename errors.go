@@ -41,4 +41,14 @@ var (
 	// series (NewDB, NewCluster) or no sampled objects
 	// (NewDBFromSamples, NewClusterFromSamples).
 	ErrNoInput = trerr.ErrNoInput
+
+	// ErrBadSnapshot reports a snapshot device that cannot be restored:
+	// no completed checkpoint, a corrupt or torn header, a page whose
+	// CRC does not match, a truncated file, or stream contents that fail
+	// validation. OpenSnapshot and OpenClusterSnapshot wrap it.
+	ErrBadSnapshot = trerr.ErrBadSnapshot
+
+	// ErrSnapshotVersion reports a structurally valid snapshot written
+	// by an incompatible (newer) snapshot format version.
+	ErrSnapshotVersion = trerr.ErrSnapshotVersion
 )

@@ -155,11 +155,23 @@ func NewAppx1WithBreaks(dev blockio.Device, ds *tsdata.Dataset, kind Kind, bps *
 	if err != nil {
 		return nil, err
 	}
-	name := "APPX1"
+	a := &Appx1{appxBase: newAppxBase(appxName("APPX1", kind), dev, ds, bps, kmax, kind), q: q}
+	a.initRebuild()
+	return a, nil
+}
+
+// appxName maps a method family to its reported name for the kind.
+func appxName(base string, kind Kind) string {
 	if kind == KindB1 {
-		name = "APPX1-B"
+		return base + "-B"
 	}
-	a := &Appx1{appxBase: newAppxBase(name, dev, ds, bps, kmax, kind), q: q}
+	return base
+}
+
+// initRebuild installs the §4 amortized-rebuild closure. Shared by the
+// build and restore constructors so a restored index degrades and
+// rebuilds exactly like the original.
+func (a *Appx1) initRebuild() {
 	a.rebuild = func() error {
 		bps, err := buildBreaks(a.ds, a.kind, a.bps.Epsilon)
 		if err != nil {
@@ -173,7 +185,6 @@ func NewAppx1WithBreaks(dev blockio.Device, ds *tsdata.Dataset, kind Kind, bps *
 		a.bps, a.dev, a.q = bps, dev, q
 		return nil
 	}
-	return a, nil
 }
 
 // TopK implements exact.Method.
@@ -225,11 +236,14 @@ func NewAppx2WithBreaks(dev blockio.Device, ds *tsdata.Dataset, kind Kind, bps *
 	if err != nil {
 		return nil, err
 	}
-	name := "APPX2"
-	if kind == KindB1 {
-		name = "APPX2-B"
-	}
-	a := &Appx2{appxBase: newAppxBase(name, dev, ds, bps, kmax, kind), q: q}
+	a := &Appx2{appxBase: newAppxBase(appxName("APPX2", kind), dev, ds, bps, kmax, kind), q: q}
+	a.initRebuild()
+	return a, nil
+}
+
+// initRebuild installs the amortized-rebuild closure (see
+// Appx1.initRebuild).
+func (a *Appx2) initRebuild() {
 	a.rebuild = func() error {
 		bps, err := buildBreaks(a.ds, a.kind, a.bps.Epsilon)
 		if err != nil {
@@ -243,7 +257,6 @@ func NewAppx2WithBreaks(dev blockio.Device, ds *tsdata.Dataset, kind Kind, bps *
 		a.bps, a.dev, a.q = bps, dev, q
 		return nil
 	}
-	return a, nil
 }
 
 // TopK implements exact.Method.
@@ -282,8 +295,9 @@ func (a *Appx2) Query2Index() *Query2 { return a.q }
 // cost plus |K| tree lookups.
 type Appx2Plus struct {
 	appxBase
-	q  *Query2
-	e2 *exact.Exact2
+	q            *Query2
+	e2           *exact.Exact2
+	buildWorkers int
 }
 
 // NewAppx2Plus builds APPX2+ (the paper always pairs it with
@@ -314,11 +328,20 @@ func NewAppx2PlusWithBreaksParallel(dev blockio.Device, ds *tsdata.Dataset, kind
 	if err != nil {
 		return nil, err
 	}
-	name := "APPX2+"
-	if kind == KindB1 {
-		name = "APPX2+-B"
+	a := &Appx2Plus{
+		appxBase:     newAppxBase(appxName("APPX2+", kind), dev, ds, bps, kmax, kind),
+		q:            q,
+		e2:           e2,
+		buildWorkers: buildWorkers,
 	}
-	a := &Appx2Plus{appxBase: newAppxBase(name, dev, ds, bps, kmax, kind), q: q, e2: e2}
+	a.initRebuild()
+	return a, nil
+}
+
+// initRebuild installs the amortized-rebuild closure (see
+// Appx1.initRebuild); the rescoring forest rebuilds with the
+// configured worker count.
+func (a *Appx2Plus) initRebuild() {
 	a.rebuild = func() error {
 		bps, err := buildBreaks(a.ds, a.kind, a.bps.Epsilon)
 		if err != nil {
@@ -329,14 +352,13 @@ func NewAppx2PlusWithBreaksParallel(dev blockio.Device, ds *tsdata.Dataset, kind
 		if err != nil {
 			return err
 		}
-		e2, err := exact.BuildExact2Parallel(dev, a.ds, buildWorkers)
+		e2, err := exact.BuildExact2Parallel(dev, a.ds, a.buildWorkers)
 		if err != nil {
 			return err
 		}
 		a.bps, a.dev, a.q, a.e2 = bps, dev, q, e2
 		return nil
 	}
-	return a, nil
 }
 
 // TopK implements exact.Method: dyadic candidates, exact rescoring.

@@ -149,6 +149,17 @@ func ceilPow2(n int) int {
 // NumShards returns the stripe count (a power of two).
 func (p *BufferPool) NumShards() int { return len(p.shards) }
 
+// Capacity returns the total page capacity across all shards — the
+// value NewBufferPool was constructed with (so a checkpoint can record
+// the cache configuration and a restore can recreate it).
+func (p *BufferPool) Capacity() int {
+	total := 0
+	for i := range p.shards {
+		total += p.shards[i].cap
+	}
+	return total
+}
+
 // shardFor stripes a page onto its shard. Page IDs are allocated
 // sequentially, so masking the low bits spreads adjacent pages across
 // different locks.
@@ -339,6 +350,24 @@ func (p *BufferPool) Flush() error {
 	}
 	return nil
 }
+
+// Sync implements Syncer: flush all dirty frames, then force the
+// backing device's writes to stable storage. Both steps follow the
+// allocation-path rule — no shard lock is held across the inner Sync.
+func (p *BufferPool) Sync() error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	return SyncDevice(p.dev)
+}
+
+// Extent implements Extenter by delegation. The pool caches page
+// *contents*, never allocation state, so the inner device's extent is
+// authoritative.
+func (p *BufferPool) Extent() int { return DeviceExtent(p.dev) }
+
+// FreedPages implements FreedLister by delegation.
+func (p *BufferPool) FreedPages() []PageID { return DeviceFreed(p.dev) }
 
 // NumPages implements Device.
 func (p *BufferPool) NumPages() int { return p.dev.NumPages() }

@@ -92,6 +92,59 @@ var (
 	ErrClosed      = errors.New("blockio: device closed")
 )
 
+// Syncer is implemented by devices whose buffered writes can be forced
+// to stable storage (FileDevice fsyncs; wrapper devices flush and
+// delegate). Purely in-memory devices do not implement it — their
+// writes are "durable" for the lifetime of the process by construction.
+type Syncer interface {
+	Sync() error
+}
+
+// SyncDevice makes d's completed writes durable when the device (or the
+// wrapper chain ending at it) supports Sync, and is a no-op otherwise.
+// The snapshot commit protocol calls this between writing a
+// checkpoint's data pages and publishing its header, so the barrier
+// degrades gracefully on memory-backed devices.
+func SyncDevice(d Device) error {
+	if s, ok := d.(Syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Extenter reports a device's page-slot extent: the total number of
+// page slots ever allocated, live or freed. NumPages, by contrast,
+// counts only live pages. Snapshot serialization needs the extent to
+// copy a device's address space faithfully (page IDs embedded in index
+// nodes must remain valid after restore).
+type Extenter interface {
+	Extent() int
+}
+
+// FreedLister reports the page IDs currently on a device's free list.
+type FreedLister interface {
+	FreedPages() []PageID
+}
+
+// DeviceExtent returns d's page-slot extent, falling back to NumPages
+// for devices that cannot distinguish freed slots (exact whenever no
+// page was ever freed).
+func DeviceExtent(d Device) int {
+	if e, ok := d.(Extenter); ok {
+		return e.Extent()
+	}
+	return d.NumPages()
+}
+
+// DeviceFreed returns the IDs on d's free list, or nil when the device
+// does not track one.
+func DeviceFreed(d Device) []PageID {
+	if f, ok := d.(FreedLister); ok {
+		return f.FreedPages()
+	}
+	return nil
+}
+
 // Device is a block device: a growable array of fixed-size pages with
 // IO accounting. Implementations must be safe for concurrent use.
 type Device interface {
@@ -229,6 +282,22 @@ func (d *MemDevice) NumPages() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.pages) - len(d.freeList)
+}
+
+// Extent implements Extenter: total page slots, live plus freed.
+func (d *MemDevice) Extent() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}
+
+// FreedPages implements FreedLister.
+func (d *MemDevice) FreedPages() []PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]PageID, len(d.freeList))
+	copy(out, d.freeList)
+	return out
 }
 
 // Stats implements Device. Lock-free: safe to call while queries are

@@ -32,6 +32,34 @@ func OpenFileDevice(path string, blockSize int) (*FileDevice, error) {
 	return &FileDevice{blockSize: blockSize, f: f, freed: make(map[PageID]bool)}, nil
 }
 
+// OpenFileDeviceAt opens (or creates) a file-backed device at path
+// WITHOUT truncating it: existing pages stay readable, with the extent
+// derived from the file size. A trailing partial page — the signature
+// of a torn write or an external truncation — is excluded from the
+// extent, so reads of the affected ID fail with ErrPageBounds rather
+// than returning garbage. This is the reopen path used by snapshot
+// restore and by incremental re-checkpointing into an existing file.
+func OpenFileDeviceAt(path string, blockSize int) (*FileDevice, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("blockio: open %s: %w", path, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("blockio: stat %s: %w", path, err)
+	}
+	return &FileDevice{
+		blockSize: blockSize,
+		f:         f,
+		numPages:  int(fi.Size() / int64(blockSize)),
+		freed:     make(map[PageID]bool),
+	}, nil
+}
+
 // BlockSize implements Device.
 func (d *FileDevice) BlockSize() int { return d.blockSize }
 
@@ -140,13 +168,51 @@ func (d *FileDevice) NumPages() int {
 	return d.numPages - len(d.freeList)
 }
 
+// Extent implements Extenter: total page slots, live plus freed.
+func (d *FileDevice) Extent() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.numPages
+}
+
+// FreedPages implements FreedLister.
+func (d *FileDevice) FreedPages() []PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]PageID, len(d.freeList))
+	copy(out, d.freeList)
+	return out
+}
+
 // Stats implements Device. Lock-free.
 func (d *FileDevice) Stats() Stats { return d.stats.Snapshot() }
 
 // ResetStats implements Device. Lock-free.
 func (d *FileDevice) ResetStats() { d.stats.Reset() }
 
-// Close implements Device.
+// Sync implements Syncer: fsync, forcing completed WriteAt calls to
+// stable storage. Without it a crash can lose buffered writes — the
+// snapshot commit protocol relies on Sync as its write barrier (data
+// pages must be durable before the header that references them).
+func (d *FileDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("blockio: sync: %w", err)
+	}
+	return nil
+}
+
+// Flush makes all completed writes durable. FileDevice writes through
+// on Write, so Flush is exactly Sync; the method exists so callers can
+// treat FileDevice and pool-wrapped devices uniformly.
+func (d *FileDevice) Flush() error { return d.Sync() }
+
+// Close implements Device: syncs, then closes the file, so a clean
+// shutdown never leaves pages only in the OS write cache.
 func (d *FileDevice) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -154,5 +220,10 @@ func (d *FileDevice) Close() error {
 		return nil
 	}
 	d.closed = true
-	return d.f.Close()
+	syncErr := d.f.Sync()
+	closeErr := d.f.Close()
+	if syncErr != nil {
+		return fmt.Errorf("blockio: sync on close: %w", syncErr)
+	}
+	return closeErr
 }

@@ -159,6 +159,21 @@ func (p *LegacyBufferPool) Flush() error {
 	return nil
 }
 
+// Sync implements Syncer: flush dirty frames, then sync the backing
+// device.
+func (p *LegacyBufferPool) Sync() error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	return SyncDevice(p.dev)
+}
+
+// Extent implements Extenter by delegation.
+func (p *LegacyBufferPool) Extent() int { return DeviceExtent(p.dev) }
+
+// FreedPages implements FreedLister by delegation.
+func (p *LegacyBufferPool) FreedPages() []PageID { return DeviceFreed(p.dev) }
+
 // NumPages implements Device.
 func (p *LegacyBufferPool) NumPages() int { return p.dev.NumPages() }
 

@@ -105,6 +105,42 @@ func (t *Tree) Root() blockio.PageID { return t.root }
 // LeafCapacity returns the max entries per leaf (fanout diagnostics).
 func (t *Tree) LeafCapacity() int { return t.leafCap }
 
+// Meta is the handful of fields that, together with the device holding
+// the node pages, fully determine a Tree. Snapshot checkpoints persist
+// it alongside the raw page image; Open reattaches.
+type Meta struct {
+	Root       blockio.PageID
+	Height     int
+	NumEntries int
+	ValueSize  int
+}
+
+// Meta captures the tree's persistent handle state.
+func (t *Tree) Meta() Meta {
+	return Meta{Root: t.root, Height: t.height, NumEntries: t.numEntries, ValueSize: t.valueSize}
+}
+
+// Open reattaches a tree to node pages already present on dev (the
+// restore path — no nodes are rebuilt). The root page is read once to
+// verify it exists and its node kind matches the recorded height.
+func Open(dev blockio.Device, m Meta) (*Tree, error) {
+	if m.Height < 1 || m.NumEntries < 0 || m.ValueSize < 1 {
+		return nil, fmt.Errorf("bptree: invalid meta %+v", m)
+	}
+	t := &Tree{dev: dev, valueSize: m.ValueSize, root: m.Root, height: m.Height, numEntries: m.NumEntries}
+	if err := t.computeCaps(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, dev.BlockSize())
+	if err := dev.Read(m.Root, buf); err != nil {
+		return nil, fmt.Errorf("bptree: open root %d: %w", m.Root, err)
+	}
+	if isLeaf(buf) != (m.Height == 1) {
+		return nil, fmt.Errorf("bptree: root node kind contradicts height %d", m.Height)
+	}
+	return t, nil
+}
+
 // --- page codecs ---------------------------------------------------
 
 func initLeaf(buf []byte) {

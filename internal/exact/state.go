@@ -1,0 +1,179 @@
+package exact
+
+import (
+	"fmt"
+
+	"temporalrank/internal/blockio"
+	"temporalrank/internal/bptree"
+	"temporalrank/internal/itree"
+	"temporalrank/internal/trerr"
+	"temporalrank/internal/tsdata"
+)
+
+// This file is the persistence boundary of the exact methods. Every
+// structure's node pages already live on its blockio.Device, so a
+// checkpoint stores (a) the raw device image and (b) the small typed
+// State captured here; Restore reattaches handles to the restored
+// pages without rebuilding anything.
+//
+// Per-object frontiers (and Exact2's start/end clamps) are NOT part of
+// the state: the append path advances the dataset and every index
+// frontier in one locked step, so a checkpointed dataset always agrees
+// with its indexes' frontiers and Restore rederives them from the
+// restored series. Exact3's tail overlay and built-end watermarks are
+// the exception — they encode which appends the static interval tree
+// has not absorbed yet — so they are serialized.
+
+// Exact1State is Exact1's handle state.
+type Exact1State struct {
+	Tree   bptree.Meta
+	MaxDur float64
+}
+
+// State captures the handle state for checkpointing.
+func (e *Exact1) State() Exact1State {
+	return Exact1State{Tree: e.tree.Meta(), MaxDur: e.maxDur}
+}
+
+// RestoreExact1 reattaches an Exact1 to its restored device image.
+func RestoreExact1(dev blockio.Device, ds *tsdata.Dataset, st Exact1State) (*Exact1, error) {
+	tree, err := bptree.Open(dev, st.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("exact1: restore: %v: %w", err, trerr.ErrBadSnapshot)
+	}
+	if tree.Len() != ds.NumSegments() {
+		return nil, fmt.Errorf("exact1: restore: tree has %d entries for %d segments: %w",
+			tree.Len(), ds.NumSegments(), trerr.ErrBadSnapshot)
+	}
+	return &Exact1{
+		dev:      dev,
+		tree:     tree,
+		m:        ds.NumSeries(),
+		maxDur:   st.MaxDur,
+		frontier: datasetFrontier(ds),
+	}, nil
+}
+
+// Exact2State is Exact2's handle state: one tree meta per object.
+type Exact2State struct {
+	Trees []bptree.Meta
+}
+
+// State captures the handle state for checkpointing.
+func (e *Exact2) State() Exact2State {
+	st := Exact2State{Trees: make([]bptree.Meta, len(e.trees))}
+	for i, t := range e.trees {
+		st.Trees[i] = t.Meta()
+	}
+	return st
+}
+
+// RestoreExact2 reattaches the forest to its restored device image.
+func RestoreExact2(dev blockio.Device, ds *tsdata.Dataset, st Exact2State) (*Exact2, error) {
+	m := ds.NumSeries()
+	if len(st.Trees) != m {
+		return nil, fmt.Errorf("exact2: restore: %d trees for %d objects: %w", len(st.Trees), m, trerr.ErrBadSnapshot)
+	}
+	e := &Exact2{
+		dev:      dev,
+		trees:    make([]*bptree.Tree, m),
+		starts:   make([]float64, m),
+		ends:     make([]float64, m),
+		frontier: datasetFrontier(ds),
+	}
+	for i, s := range ds.AllSeries() {
+		t, err := bptree.Open(dev, st.Trees[i])
+		if err != nil {
+			return nil, fmt.Errorf("exact2: restore tree %d: %v: %w", i, err, trerr.ErrBadSnapshot)
+		}
+		if t.Len() != s.NumSegments() {
+			return nil, fmt.Errorf("exact2: restore tree %d: %d entries for %d segments: %w",
+				i, t.Len(), s.NumSegments(), trerr.ErrBadSnapshot)
+		}
+		e.trees[i] = t
+		e.starts[i] = s.Start()
+		e.ends[i] = s.End()
+	}
+	return e, nil
+}
+
+// Exact3Tail is the exported form of one tail-overlay entry: a segment
+// appended after the static interval tree was built, with its running
+// prefix σ_i(t_{i,0}, Seg.T2).
+type Exact3Tail struct {
+	Seg    tsdata.Segment
+	Prefix float64
+}
+
+// Exact3State is Exact3's handle state, including the append overlay
+// the static tree has not absorbed.
+type Exact3State struct {
+	Tree               itree.Meta
+	DomainLo, DomainHi float64
+	BuiltEnd           []float64
+	Tails              map[tsdata.SeriesID][]Exact3Tail
+}
+
+// State captures the handle state for checkpointing.
+func (e *Exact3) State() Exact3State {
+	st := Exact3State{
+		Tree:     e.tree.Meta(),
+		DomainLo: e.domainLo,
+		DomainHi: e.domainHi,
+		BuiltEnd: append([]float64(nil), e.builtEnd...),
+		Tails:    make(map[tsdata.SeriesID][]Exact3Tail, len(e.tails)),
+	}
+	for id, tail := range e.tails {
+		out := make([]Exact3Tail, len(tail))
+		for j, te := range tail {
+			out[j] = Exact3Tail{Seg: te.seg, Prefix: te.prefix}
+		}
+		st.Tails[id] = out
+	}
+	return st
+}
+
+// RestoreExact3 reattaches an Exact3 to its restored device image.
+func RestoreExact3(dev blockio.Device, ds *tsdata.Dataset, st Exact3State) (*Exact3, error) {
+	m := ds.NumSeries()
+	if len(st.BuiltEnd) != m {
+		return nil, fmt.Errorf("exact3: restore: %d built-end marks for %d objects: %w",
+			len(st.BuiltEnd), m, trerr.ErrBadSnapshot)
+	}
+	tree, err := itree.Open(dev, st.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("exact3: restore: %v: %w", err, trerr.ErrBadSnapshot)
+	}
+	e := &Exact3{
+		dev:      dev,
+		tree:     tree,
+		m:        m,
+		domainLo: st.DomainLo,
+		domainHi: st.DomainHi,
+		frontier: datasetFrontier(ds),
+		builtEnd: append([]float64(nil), st.BuiltEnd...),
+		tails:    make(map[tsdata.SeriesID][]tailEntry, len(st.Tails)),
+	}
+	for id, tail := range st.Tails {
+		if int(id) < 0 || int(id) >= m {
+			return nil, fmt.Errorf("exact3: restore: tail for unknown series %d: %w", id, trerr.ErrBadSnapshot)
+		}
+		in := make([]tailEntry, len(tail))
+		for j, te := range tail {
+			in[j] = tailEntry{seg: te.Seg, prefix: te.Prefix}
+		}
+		e.tails[id] = in
+	}
+	return e, nil
+}
+
+// datasetFrontier derives the per-object append frontier from the
+// dataset (valid because dataset and index frontiers advance in
+// lockstep through the locked append path).
+func datasetFrontier(ds *tsdata.Dataset) []vertex {
+	frontier := make([]vertex, ds.NumSeries())
+	for i, s := range ds.AllSeries() {
+		frontier[i] = vertex{t: s.End(), v: s.VertexValue(s.NumSegments())}
+	}
+	return frontier
+}

@@ -81,6 +81,39 @@ func Build(dev blockio.Device, payloadSize int, intervals []Interval) (*Tree, er
 	return t, nil
 }
 
+// Meta is the handful of fields that, together with the device holding
+// the node pages, fully determine a Tree. Snapshot checkpoints persist
+// it alongside the raw page image; Open reattaches.
+type Meta struct {
+	Root         blockio.PageID
+	Height       int
+	NumIntervals int
+	PayloadSize  int
+}
+
+// Meta captures the tree's persistent handle state.
+func (t *Tree) Meta() Meta {
+	return Meta{Root: t.root, Height: t.height, NumIntervals: t.numIntervals, PayloadSize: t.payloadSize}
+}
+
+// Open reattaches a tree to node pages already present on dev (the
+// restore path — no nodes are rebuilt). An empty tree has an invalid
+// root and zero height, exactly as Build leaves it for no intervals.
+func Open(dev blockio.Device, m Meta) (*Tree, error) {
+	if m.NumIntervals < 0 || m.PayloadSize < 1 {
+		return nil, fmt.Errorf("itree: invalid meta %+v", m)
+	}
+	t := &Tree{dev: dev, payloadSize: m.PayloadSize, root: m.Root, height: m.Height, numIntervals: m.NumIntervals}
+	t.listCap = (dev.BlockSize() - listHeaderSize) / (intervalSize + m.PayloadSize)
+	if t.listCap < 1 || dev.BlockSize() < nodeSize {
+		return nil, fmt.Errorf("itree: block size %d too small for payload %d", dev.BlockSize(), m.PayloadSize)
+	}
+	if m.NumIntervals > 0 && (m.Root == blockio.InvalidPage || m.Height < 1) {
+		return nil, fmt.Errorf("itree: meta claims %d intervals but no root", m.NumIntervals)
+	}
+	return t, nil
+}
+
 // Len returns the number of stored intervals.
 func (t *Tree) Len() int { return t.numIntervals }
 

@@ -77,6 +77,9 @@ func New[K comparable, V any](capacity int) *Cache[K, V] {
 	}
 }
 
+// Cap returns the entry bound the cache was created with.
+func (c *Cache[K, V]) Cap() int { return c.capacity }
+
 // Stats is the cache's cumulative effectiveness counters.
 type Stats struct {
 	// Hits counts lookups served from a stored entry.

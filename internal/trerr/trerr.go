@@ -33,4 +33,14 @@ var (
 	// ErrNoInput reports a constructor given an empty dataset (no
 	// series, no objects).
 	ErrNoInput = errors.New("no input data")
+
+	// ErrBadSnapshot reports a snapshot that cannot be restored: missing
+	// or corrupt header, a page whose checksum does not match, a torn or
+	// truncated file, or stream contents that fail validation. A device
+	// that has never completed a checkpoint also reports this.
+	ErrBadSnapshot = errors.New("bad snapshot")
+
+	// ErrSnapshotVersion reports a structurally valid snapshot written
+	// by an incompatible (newer) format version of this library.
+	ErrSnapshotVersion = errors.New("unsupported snapshot format version")
 )

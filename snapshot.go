@@ -1,0 +1,536 @@
+package temporalrank
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"temporalrank/internal/approx"
+	"temporalrank/internal/blockio"
+	"temporalrank/internal/exact"
+	"temporalrank/internal/qcache"
+	"temporalrank/internal/scatter"
+	"temporalrank/internal/snapshot"
+)
+
+// This file wires the internal/snapshot paged store to the public
+// types: Checkpoint serializes a DB, its indexes, and the planner
+// configuration into one atomically-committed generation on a block
+// device; OpenSnapshot reconstructs a fully queryable Planner from it
+// without rebuilding any index (every index's node pages are restored
+// as a raw device image, so even the B+-tree splits come back
+// byte-identical). Commit is atomic at the device level — a crash
+// mid-checkpoint leaves the previous generation live — and every page
+// is CRC-verified on the way back in, so a torn or bit-rotted file
+// fails with ErrBadSnapshot instead of loading wrong.
+//
+// Stream layout of one generation (names are the restore contract):
+//
+//	manifest        gob snapManifest: shape, data version, cache config
+//	dataset         flat per-series vertex arrays
+//	index.<i>.meta  gob indexState: method + typed handle state
+//	index.<i>.pages raw device page image of index i
+//	shard           gob shardManifest (cluster checkpoints only)
+
+// snapManifest is the generation's table of shape facts: enough to
+// validate every other stream against, plus the planner state that is
+// not derivable from the data (append counter, result cache bound).
+type snapManifest struct {
+	NumSeries    int
+	NumSegments  int
+	DataVersion  uint64
+	CacheEntries int
+	NumIndexes   int
+}
+
+// indexState is one index's method tag and typed handle state. Exactly
+// one of the six state pointers is set, matching Method; the raw page
+// image the handles point into travels in the sibling pages stream.
+type indexState struct {
+	Method      string
+	BlockSize   int
+	CacheBlocks int
+	E1          *exact.Exact1State
+	E2          *exact.Exact2State
+	E3          *exact.Exact3State
+	A1          *approx.Appx1State
+	A2          *approx.Appx2State
+	A2P         *approx.Appx2PlusState
+}
+
+// shardManifest identifies one cluster shard's snapshot file and
+// carries the global-ID routing needed to reassemble the cluster.
+type shardManifest struct {
+	Shard     int
+	NumShards int
+	NumSeries int   // global object count m
+	Global    []int // ascending global IDs of this shard's local series
+}
+
+// maxSnapshotIndexes bounds the index count a manifest may claim —
+// far above any real configuration, far below anything that could
+// balloon allocations from a corrupt count.
+const maxSnapshotIndexes = 4096
+
+// Checkpoint writes the database and the given indexes (each built
+// over this DB) to dev as one new snapshot generation. The commit is
+// atomic: until the final header write lands, the device's previous
+// generation — if any — remains the one OpenSnapshot restores, so an
+// interrupted checkpoint can lose the new generation but never the old
+// one. Space from dead generations is reclaimed automatically.
+//
+// The DB and index locks are held shared for the duration, so queries
+// proceed concurrently while appends wait.
+func (db *DB) Checkpoint(dev blockio.Device, indexes ...*Index) error {
+	for _, ix := range indexes {
+		if ix == nil {
+			return fmt.Errorf("temporalrank: checkpoint: nil index: %w", ErrBadConfig)
+		}
+		if ix.db != db {
+			return fmt.Errorf("temporalrank: checkpoint: index %s built over a different DB: %w", ix.Method(), ErrBadConfig)
+		}
+	}
+	return checkpointIndexes(dev, db, indexes, 0, nil)
+}
+
+// Checkpoint writes the planner's DB, every registered index, and the
+// result cache configuration to dev as one new snapshot generation,
+// with the same atomicity as DB.Checkpoint. OpenSnapshot on the device
+// yields an equivalent planner.
+func (p *Planner) Checkpoint(dev blockio.Device) error {
+	return p.checkpointWith(dev, nil)
+}
+
+// checkpointWith is Checkpoint with an optional cluster shard manifest
+// riding along. Lock ordering: planner mu, then every index mu in
+// registration order, then db.mu — the same order Planner.Append uses.
+func (p *Planner) checkpointWith(dev blockio.Device, shard *shardManifest) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	entries := 0
+	if p.cache != nil {
+		entries = p.cache.Cap()
+	}
+	return checkpointIndexes(dev, p.db, p.indexes, entries, shard)
+}
+
+// checkpointIndexes locks the index set (in slice order) and the DB
+// shared, then writes the generation.
+func checkpointIndexes(dev blockio.Device, db *DB, ixs []*Index, cacheEntries int, shard *shardManifest) error {
+	for _, ix := range ixs {
+		ix.mu.RLock()
+	}
+	defer func() {
+		for i := len(ixs) - 1; i >= 0; i-- {
+			ixs[i].mu.RUnlock()
+		}
+	}()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return checkpointLocked(dev, db, ixs, cacheEntries, shard)
+}
+
+// checkpointLocked writes one generation. Callers hold each index's mu
+// and db.mu (shared suffices: nothing here mutates the structures).
+func checkpointLocked(dev blockio.Device, db *DB, ixs []*Index, cacheEntries int, shard *shardManifest) error {
+	store, err := snapshot.Open(dev)
+	if err != nil {
+		return err
+	}
+	cp, err := store.Begin()
+	if err != nil {
+		return err
+	}
+	man := snapManifest{
+		NumSeries:    db.ds.NumSeries(),
+		NumSegments:  db.ds.NumSegments(),
+		DataVersion:  db.version.Load(),
+		CacheEntries: cacheEntries,
+		NumIndexes:   len(ixs),
+	}
+	if err := writeGobStream(cp, "manifest", snapshot.TypeManifest, &man); err != nil {
+		return err
+	}
+	w, err := cp.Stream("dataset", snapshot.TypeDataset)
+	if err != nil {
+		return err
+	}
+	if err := snapshot.WriteDataset(w, db.ds); err != nil {
+		return fmt.Errorf("temporalrank: checkpoint dataset: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	for i, ix := range ixs {
+		st, err := indexStateOf(ix)
+		if err != nil {
+			return err
+		}
+		if err := writeGobStream(cp, fmt.Sprintf("index.%d.meta", i), snapshot.TypeIndexMeta, st); err != nil {
+			return err
+		}
+		w, err := cp.Stream(fmt.Sprintf("index.%d.pages", i), snapshot.TypeIndexPages)
+		if err != nil {
+			return err
+		}
+		if err := snapshot.WriteDevicePages(w, ix.m.Device()); err != nil {
+			return fmt.Errorf("temporalrank: checkpoint index %d pages: %w", i, err)
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	if shard != nil {
+		if err := writeGobStream(cp, "shard", snapshot.TypeShardMeta, shard); err != nil {
+			return err
+		}
+	}
+	return cp.Commit()
+}
+
+// indexStateOf captures one index's typed handle state. Callers hold
+// ix.mu (shared).
+func indexStateOf(ix *Index) (*indexState, error) {
+	dev := ix.m.Device()
+	st := &indexState{Method: ix.m.Name(), BlockSize: dev.BlockSize()}
+	if bp, ok := dev.(*blockio.BufferPool); ok {
+		st.CacheBlocks = bp.Capacity()
+	}
+	switch m := ix.m.(type) {
+	case *exact.Exact1:
+		s := m.State()
+		st.E1 = &s
+	case *exact.Exact2:
+		s := m.State()
+		st.E2 = &s
+	case *exact.Exact3:
+		s := m.State()
+		st.E3 = &s
+	case *approx.Appx1:
+		s := m.State()
+		st.A1 = &s
+	case *approx.Appx2:
+		s := m.State()
+		st.A2 = &s
+	case *approx.Appx2Plus:
+		s := m.State()
+		st.A2P = &s
+	default:
+		return nil, fmt.Errorf("temporalrank: method %s does not support checkpoint: %w", ix.m.Name(), ErrBadConfig)
+	}
+	return st, nil
+}
+
+// OpenSnapshot restores the latest committed generation on dev into a
+// fully queryable Planner — DB, every index, and the result cache
+// configuration — performing zero index rebuilds: each index's pages
+// are loaded as a raw image and its handles reattached. Every page is
+// CRC-verified; a torn, truncated, or corrupted snapshot fails with an
+// error wrapping ErrBadSnapshot (or ErrSnapshotVersion for a snapshot
+// written by a newer format), never a silently wrong planner.
+//
+// The restored stack lives on in-memory devices: dev is only read, and
+// may be closed once OpenSnapshot returns.
+func OpenSnapshot(dev blockio.Device) (*Planner, error) {
+	p, _, err := openSnapshotStore(dev)
+	return p, err
+}
+
+// openSnapshotStore is OpenSnapshot returning the shard manifest too
+// (nil for single-node snapshots).
+func openSnapshotStore(dev blockio.Device) (*Planner, *shardManifest, error) {
+	store, err := snapshot.Open(dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := store.Err(); err != nil {
+		return nil, nil, err
+	}
+	var man snapManifest
+	if err := readGobStream(store, "manifest", snapshot.TypeManifest, &man); err != nil {
+		return nil, nil, err
+	}
+	if man.NumIndexes < 0 || man.NumIndexes > maxSnapshotIndexes {
+		return nil, nil, fmt.Errorf("temporalrank: snapshot claims %d indexes: %w", man.NumIndexes, ErrBadSnapshot)
+	}
+	r, err := store.OpenStream("dataset", snapshot.TypeDataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := snapshot.ReadDataset(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ds.NumSeries() != man.NumSeries || ds.NumSegments() != man.NumSegments {
+		return nil, nil, fmt.Errorf("temporalrank: snapshot dataset has %d series / %d segments, manifest says %d / %d: %w",
+			ds.NumSeries(), ds.NumSegments(), man.NumSeries, man.NumSegments, ErrBadSnapshot)
+	}
+	db := NewDBFromDataset(ds)
+	db.version.Store(man.DataVersion)
+	ixs := make([]*Index, man.NumIndexes)
+	for i := range ixs {
+		var st indexState
+		if err := readGobStream(store, fmt.Sprintf("index.%d.meta", i), snapshot.TypeIndexMeta, &st); err != nil {
+			return nil, nil, err
+		}
+		pr, err := store.OpenStream(fmt.Sprintf("index.%d.pages", i), snapshot.TypeIndexPages)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ixs[i], err = restoreIndex(db, &st, pr); err != nil {
+			return nil, nil, fmt.Errorf("temporalrank: restore index %d (%s): %w", i, st.Method, err)
+		}
+	}
+	p, err := NewPlanner(db, ixs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if man.CacheEntries > 0 {
+		p.EnableResultCache(man.CacheEntries)
+	}
+	var sm *shardManifest
+	streams, err := store.Streams()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, info := range streams {
+		if info.Name == "shard" {
+			sm = new(shardManifest)
+			if err := readGobStream(store, "shard", snapshot.TypeShardMeta, sm); err != nil {
+				return nil, nil, err
+			}
+			break
+		}
+	}
+	return p, sm, nil
+}
+
+// restoreIndex loads one index's page image and reattaches its typed
+// handles. db is freshly constructed and not yet shared, so its
+// dataset is accessed directly.
+func restoreIndex(db *DB, st *indexState, pages io.Reader) (*Index, error) {
+	mem, err := snapshot.ReadDevicePages(pages)
+	if err != nil {
+		return nil, err
+	}
+	if mem.BlockSize() != st.BlockSize {
+		return nil, fmt.Errorf("temporalrank: page image block size %d, meta says %d: %w",
+			mem.BlockSize(), st.BlockSize, ErrBadSnapshot)
+	}
+	var dev blockio.Device = mem
+	if st.CacheBlocks > 0 {
+		dev = blockio.NewBufferPool(mem, st.CacheBlocks)
+	}
+	var m exact.Method
+	switch {
+	case st.E1 != nil:
+		m, err = exact.RestoreExact1(dev, db.ds, *st.E1)
+	case st.E2 != nil:
+		m, err = exact.RestoreExact2(dev, db.ds, *st.E2)
+	case st.E3 != nil:
+		m, err = exact.RestoreExact3(dev, db.ds, *st.E3)
+	case st.A1 != nil:
+		m, err = approx.RestoreAppx1(dev, db.ds, *st.A1)
+	case st.A2 != nil:
+		m, err = approx.RestoreAppx2(dev, db.ds, *st.A2)
+	case st.A2P != nil:
+		m, err = approx.RestoreAppx2Plus(dev, db.ds, *st.A2P)
+	default:
+		return nil, fmt.Errorf("temporalrank: index meta carries no state: %w", ErrBadSnapshot)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if m.Name() != st.Method {
+		return nil, fmt.Errorf("temporalrank: index meta says %s but state restores %s: %w",
+			st.Method, m.Name(), ErrBadSnapshot)
+	}
+	return &Index{m: m, db: db}, nil
+}
+
+// SnapshotFilePattern matches the per-shard snapshot files a cluster
+// checkpoint writes under its directory.
+const SnapshotFilePattern = "shard-*.trsnap"
+
+// shardSnapshotPath names shard i's snapshot file.
+func shardSnapshotPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.trsnap", shard))
+}
+
+// Checkpoint writes every non-empty shard's stack to its own snapshot
+// file under dir (created if needed), named shard-<n>.trsnap. Shards
+// checkpoint in parallel and each file commits atomically on its own:
+// a crash mid-way can leave some shards on the new generation and some
+// on the old — each individually consistent — and the next Checkpoint
+// converges them. Appends to a shard wait for that shard's write only.
+func (c *Cluster) Checkpoint(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("temporalrank: cluster checkpoint: %w", err)
+	}
+	return scatter.Run(context.Background(), len(c.shards), runtime.GOMAXPROCS(0), func(_ context.Context, i int) error {
+		sh := c.shards[i]
+		if sh.db == nil {
+			return nil
+		}
+		dev, err := blockio.OpenFileDeviceAt(shardSnapshotPath(dir, i), blockio.DefaultBlockSize)
+		if err != nil {
+			return fmt.Errorf("temporalrank: cluster checkpoint shard %d: %w", i, err)
+		}
+		sm := &shardManifest{
+			Shard:     i,
+			NumShards: len(c.shards),
+			NumSeries: len(c.shardOf),
+			Global:    sh.global,
+		}
+		werr := sh.planner.checkpointWith(dev, sm)
+		cerr := dev.Close()
+		if werr != nil {
+			return fmt.Errorf("temporalrank: cluster checkpoint shard %d: %w", i, werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("temporalrank: cluster checkpoint shard %d: %w", i, cerr)
+		}
+		return nil
+	})
+}
+
+// OpenClusterSnapshot restores a cluster from the per-shard snapshot
+// files Cluster.Checkpoint wrote under dir. The shard count, the
+// series-to-shard routing, and every shard's DB, indexes, and planner
+// come from the snapshots; only the runtime knobs of opts are applied
+// (Workers, ResultCache, Partitioner — the rest is ignored, since the
+// partitioning is already fixed in the files). Shards restore in
+// parallel. Like every restore path, no index is rebuilt.
+func OpenClusterSnapshot(dir string, opts ClusterOptions) (*Cluster, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, SnapshotFilePattern))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("temporalrank: no %s files in %s: %w", SnapshotFilePattern, dir, ErrBadSnapshot)
+	}
+	sort.Strings(paths)
+	type loadedShard struct {
+		planner *Planner
+		meta    *shardManifest
+	}
+	loaded := make([]loadedShard, len(paths))
+	err = scatter.Run(context.Background(), len(paths), runtime.GOMAXPROCS(0), func(_ context.Context, i int) error {
+		dev, err := blockio.OpenFileDeviceAt(paths[i], blockio.DefaultBlockSize)
+		if err != nil {
+			return fmt.Errorf("temporalrank: open %s: %w", paths[i], err)
+		}
+		p, sm, perr := openSnapshotStore(dev)
+		cerr := dev.Close()
+		if perr != nil {
+			return fmt.Errorf("temporalrank: restore %s: %w", paths[i], perr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("temporalrank: restore %s: %w", paths[i], cerr)
+		}
+		if sm == nil {
+			return fmt.Errorf("temporalrank: %s is not a cluster shard snapshot: %w", paths[i], ErrBadSnapshot)
+		}
+		loaded[i] = loadedShard{planner: p, meta: sm}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	numShards, numSeries := loaded[0].meta.NumShards, loaded[0].meta.NumSeries
+	if numShards < 1 || numSeries < 1 || numSeries > maxSnapshotIndexes*maxSnapshotIndexes {
+		return nil, fmt.Errorf("temporalrank: implausible cluster shape %d shards / %d series: %w",
+			numShards, numSeries, ErrBadSnapshot)
+	}
+	part := opts.Partitioner
+	if part == nil {
+		part = HashPartition
+	}
+	c := &Cluster{
+		part:    part,
+		workers: opts.Workers,
+		shards:  make([]*clusterShard, numShards),
+		shardOf: make([]int, numSeries),
+		localOf: make([]int, numSeries),
+	}
+	for i := range c.shards {
+		c.shards[i] = &clusterShard{}
+	}
+	for g := range c.shardOf {
+		c.shardOf[g] = -1
+	}
+	for i, ld := range loaded {
+		sm := ld.meta
+		if sm.NumShards != numShards || sm.NumSeries != numSeries {
+			return nil, fmt.Errorf("temporalrank: %s disagrees on cluster shape (%d/%d vs %d/%d): %w",
+				paths[i], sm.NumShards, sm.NumSeries, numShards, numSeries, ErrBadSnapshot)
+		}
+		if sm.Shard < 0 || sm.Shard >= numShards {
+			return nil, fmt.Errorf("temporalrank: %s names shard %d of %d: %w", paths[i], sm.Shard, numShards, ErrBadSnapshot)
+		}
+		sh := c.shards[sm.Shard]
+		if sh.db != nil {
+			return nil, fmt.Errorf("temporalrank: duplicate snapshot for shard %d: %w", sm.Shard, ErrBadSnapshot)
+		}
+		if len(sm.Global) != ld.planner.DB().NumSeries() {
+			return nil, fmt.Errorf("temporalrank: %s routes %d series but holds %d: %w",
+				paths[i], len(sm.Global), ld.planner.DB().NumSeries(), ErrBadSnapshot)
+		}
+		for local, g := range sm.Global {
+			if g < 0 || g >= numSeries || c.shardOf[g] != -1 {
+				return nil, fmt.Errorf("temporalrank: %s routes series %d twice or out of range: %w",
+					paths[i], g, ErrBadSnapshot)
+			}
+			if local > 0 && sm.Global[local-1] >= g {
+				return nil, fmt.Errorf("temporalrank: %s shard ID list not ascending at %d: %w",
+					paths[i], local, ErrBadSnapshot)
+			}
+			c.shardOf[g] = sm.Shard
+			c.localOf[g] = local
+		}
+		sh.db = ld.planner.DB()
+		sh.planner = ld.planner
+		sh.indexes = ld.planner.Indexes()
+		sh.global = sm.Global
+	}
+	for g, s := range c.shardOf {
+		if s == -1 {
+			return nil, fmt.Errorf("temporalrank: no shard snapshot holds series %d: %w", g, ErrBadSnapshot)
+		}
+	}
+	if opts.ResultCache > 0 {
+		c.cache = qcache.New[queryKey, Answer](opts.ResultCache)
+	}
+	return c, nil
+}
+
+// writeGobStream encodes v as one gob-typed stream of the checkpoint.
+func writeGobStream(cp *snapshot.Checkpoint, name string, typ byte, v any) error {
+	w, err := cp.Stream(name, typ)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(v); err != nil {
+		return fmt.Errorf("temporalrank: checkpoint stream %q: %w", name, err)
+	}
+	return w.Close()
+}
+
+// readGobStream decodes one gob stream; decode failures are typed
+// ErrBadSnapshot (the pages passed CRC, so a gob error means a
+// mis-produced or tampered stream, not random corruption).
+func readGobStream(store *snapshot.Store, name string, typ byte, v any) error {
+	r, err := store.OpenStream(name, typ)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(r).Decode(v); err != nil {
+		return fmt.Errorf("temporalrank: snapshot stream %q: %v: %w", name, err, ErrBadSnapshot)
+	}
+	return nil
+}

@@ -1,0 +1,383 @@
+package temporalrank_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"temporalrank"
+	"temporalrank/internal/blockio"
+)
+
+// snapshotQueries is the query mix every round-trip test replays: the
+// three aggregates over a few intervals and ks, including boundary
+// intervals.
+func snapshotQueries(rng *rand.Rand, start, end float64, trials int) []temporalrank.Query {
+	span := end - start
+	qs := []temporalrank.Query{
+		temporalrank.SumQuery(5, start, end),
+		temporalrank.AvgQuery(3, start, end),
+		temporalrank.InstantQuery(4, start+span/2),
+	}
+	for i := 0; i < trials; i++ {
+		t1 := start + rng.Float64()*span*0.7
+		t2 := t1 + rng.Float64()*span*0.3
+		k := 1 + rng.Intn(8)
+		qs = append(qs,
+			temporalrank.SumQuery(k, t1, t2),
+			temporalrank.AvgQuery(k, t1, t2),
+			temporalrank.InstantQuery(k, t1),
+		)
+	}
+	return qs
+}
+
+// requireSameAnswers runs every query against both queriers and
+// requires bit-identical results — restored structures are raw page
+// images of the originals, so even float rounding must agree.
+func requireSameAnswers(t *testing.T, label string, qs []temporalrank.Query, want, got temporalrank.Querier) {
+	t.Helper()
+	ctx := context.Background()
+	for _, q := range qs {
+		w, err := want.Run(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: original %s k=%d: %v", label, q.Agg, q.K, err)
+		}
+		g, err := got.Run(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: restored %s k=%d: %v", label, q.Agg, q.K, err)
+		}
+		sameResults(t, label+"/"+string(q.Agg), g.Results, w.Results)
+	}
+}
+
+// TestSnapshotRoundTripAllMethods builds one index per method over a
+// randomized dataset, checkpoints the whole planner, restores it, and
+// requires every method to answer every aggregate identically — then
+// appends through both stacks and checks again, so the restored
+// frontiers and amortized-rebuild counters are exercised too.
+func TestSnapshotRoundTripAllMethods(t *testing.T) {
+	inputs := clusterInputs(t, 30, 20, 42)
+	db, err := temporalrank.NewDB(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ixs []*temporalrank.Index
+	for i, m := range temporalrank.Methods() {
+		opts := temporalrank.Options{Method: m, BlockSize: 512, KMax: 16, TargetR: 24}
+		if i%2 == 0 {
+			opts.CacheBlocks = 32 // alternate raw devices and buffer pools
+		}
+		ix, err := db.BuildIndex(opts)
+		if err != nil {
+			t.Fatalf("build %s: %v", m, err)
+		}
+		ixs = append(ixs, ix)
+	}
+	p, err := temporalrank.NewPlanner(db, ixs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EnableResultCache(64)
+
+	dev := blockio.NewMemDevice(512)
+	if err := p.Checkpoint(dev); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	p2, err := temporalrank.OpenSnapshot(dev)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+
+	if got, want := p2.DB().DataVersion(), p.DB().DataVersion(); got != want {
+		t.Fatalf("restored data version %d, want %d", got, want)
+	}
+	if _, ok := p2.CacheStats(); !ok {
+		t.Fatal("restored planner lost its result cache")
+	}
+	ixs2 := p2.Indexes()
+	if len(ixs2) != len(ixs) {
+		t.Fatalf("restored %d indexes, want %d", len(ixs2), len(ixs))
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	qs := snapshotQueries(rng, db.Start(), db.End(), 6)
+	for i := range ixs {
+		if ixs2[i].Method() != ixs[i].Method() {
+			t.Fatalf("index %d restored as %s, want %s", i, ixs2[i].Method(), ixs[i].Method())
+		}
+		requireSameAnswers(t, "index/"+string(ixs[i].Method()), qs, ixs[i], ixs2[i])
+	}
+	requireSameAnswers(t, "planner", qs, p, p2)
+
+	// Append the same segments through both stacks; every frontier,
+	// Exact3 tail, and approximate mass counter must have restored
+	// correctly for the answers to keep agreeing.
+	for n := 0; n < 10; n++ {
+		id := rng.Intn(db.NumSeries())
+		tEnd := p.DB().End() + 0.5 + rng.Float64()
+		v := rng.Float64()*10 - 5
+		if err := p.Append(id, tEnd, v); err != nil {
+			t.Fatalf("append original: %v", err)
+		}
+		if err := p2.Append(id, tEnd, v); err != nil {
+			t.Fatalf("append restored: %v", err)
+		}
+	}
+	qs2 := snapshotQueries(rng, db.Start(), p.DB().End(), 4)
+	for i := range ixs {
+		requireSameAnswers(t, "post-append/"+string(ixs[i].Method()), qs2, ixs[i], ixs2[i])
+	}
+}
+
+// TestSnapshotSecondGenerationSupersedes checkpoints, mutates, and
+// checkpoints again onto the same device: restore must see the second
+// generation's data.
+func TestSnapshotSecondGenerationSupersedes(t *testing.T) {
+	inputs := clusterInputs(t, 10, 8, 3)
+	db, err := temporalrank.NewDB(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact3, BlockSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := temporalrank.NewPlanner(db, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := blockio.NewMemDevice(256)
+	if err := p.Checkpoint(dev); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Append(0, db.End()+1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Checkpoint(dev); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := temporalrank.OpenSnapshot(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p2.DB().NumSegments(), p.DB().NumSegments(); got != want {
+		t.Fatalf("restored %d segments, want %d (second generation)", got, want)
+	}
+	rng := rand.New(rand.NewSource(9))
+	requireSameAnswers(t, "gen2", snapshotQueries(rng, db.Start(), db.End(), 4), p, p2)
+}
+
+// TestSnapshotRejectsGarbage checks the typed-error contract on things
+// that are not snapshots.
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := temporalrank.OpenSnapshot(blockio.NewMemDevice(256)); !errors.Is(err, temporalrank.ErrBadSnapshot) {
+		t.Fatalf("empty device: got %v, want ErrBadSnapshot", err)
+	}
+	dev := blockio.NewMemDevice(256)
+	buf := make([]byte, 256)
+	for i := 0; i < 8; i++ {
+		id, _ := dev.Alloc()
+		for j := range buf {
+			buf[j] = byte(i*31 + j)
+		}
+		if err := dev.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := temporalrank.OpenSnapshot(dev); !errors.Is(err, temporalrank.ErrBadSnapshot) {
+		t.Fatalf("garbage device: got %v, want ErrBadSnapshot", err)
+	}
+	if _, err := temporalrank.OpenClusterSnapshot(t.TempDir(), temporalrank.ClusterOptions{}); !errors.Is(err, temporalrank.ErrBadSnapshot) {
+		t.Fatalf("empty dir: got %v, want ErrBadSnapshot", err)
+	}
+}
+
+// TestClusterSnapshotRoundTrip checkpoints a cluster to per-shard
+// files and restores it, for 1 and 8 shards, checking equivalence
+// before and after post-restore appends, plus a second generation.
+func TestClusterSnapshotRoundTrip(t *testing.T) {
+	inputs := clusterInputs(t, 40, 15, 11)
+	indexes := []temporalrank.Options{
+		{Method: temporalrank.MethodExact3, BlockSize: 512},
+		{Method: temporalrank.MethodAppx2, BlockSize: 512, KMax: 16, TargetR: 16},
+	}
+	for _, shards := range []int{1, 8} {
+		c, err := temporalrank.NewCluster(inputs, temporalrank.ClusterOptions{
+			Shards: shards, Indexes: indexes, ResultCache: 32,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		dir := t.TempDir()
+		if err := c.Checkpoint(dir); err != nil {
+			t.Fatalf("shards=%d checkpoint: %v", shards, err)
+		}
+		c2, err := temporalrank.OpenClusterSnapshot(dir, temporalrank.ClusterOptions{ResultCache: 32})
+		if err != nil {
+			t.Fatalf("shards=%d restore: %v", shards, err)
+		}
+		if c2.NumShards() != c.NumShards() || c2.NumSeries() != c.NumSeries() || c2.NumSegments() != c.NumSegments() {
+			t.Fatalf("shards=%d: restored shape (%d, %d, %d) != original (%d, %d, %d)",
+				shards, c2.NumShards(), c2.NumSeries(), c2.NumSegments(),
+				c.NumShards(), c.NumSeries(), c.NumSegments())
+		}
+		rng := rand.New(rand.NewSource(int64(shards)))
+		qs := snapshotQueries(rng, c.Start(), c.End(), 5)
+		requireSameAnswers(t, "cluster", qs, c, c2)
+
+		for n := 0; n < 8; n++ {
+			id := rng.Intn(c.NumSeries())
+			tEnd := c.End() + 0.5 + rng.Float64()
+			v := rng.Float64() * 4
+			if err := c.Append(id, tEnd, v); err != nil {
+				t.Fatalf("shards=%d append original: %v", shards, err)
+			}
+			if err := c2.Append(id, tEnd, v); err != nil {
+				t.Fatalf("shards=%d append restored: %v", shards, err)
+			}
+		}
+		requireSameAnswers(t, "cluster post-append", snapshotQueries(rng, c.Start(), c.End(), 3), c, c2)
+
+		// Second generation over the same files.
+		if err := c2.Checkpoint(dir); err != nil {
+			t.Fatalf("shards=%d re-checkpoint: %v", shards, err)
+		}
+		c3, err := temporalrank.OpenClusterSnapshot(dir, temporalrank.ClusterOptions{})
+		if err != nil {
+			t.Fatalf("shards=%d re-restore: %v", shards, err)
+		}
+		requireSameAnswers(t, "cluster gen2", snapshotQueries(rng, c.Start(), c.End(), 3), c2, c3)
+	}
+}
+
+// TestClusterSnapshotRejectsCorruption flips one byte in every shard
+// file position that matters and requires a typed failure, never a
+// wrong cluster.
+func TestClusterSnapshotRejectsCorruption(t *testing.T) {
+	inputs := clusterInputs(t, 12, 10, 5)
+	c, err := temporalrank.NewCluster(inputs, temporalrank.ClusterOptions{
+		Shards:  2,
+		Indexes: []temporalrank.Options{{Method: temporalrank.MethodExact1, BlockSize: 256}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := c.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "shard-0000.trsnap")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a data page in the middle of the file (headers occupy the
+	// first two pages; past them every page is CRC-protected payload).
+	pos := 2*blockio.DefaultBlockSize + len(raw)/2%max(len(raw)-2*blockio.DefaultBlockSize, 1)
+	corrupted := append([]byte(nil), raw...)
+	corrupted[pos] ^= 0x40
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := temporalrank.OpenClusterSnapshot(dir, temporalrank.ClusterOptions{}); !errors.Is(err, temporalrank.ErrBadSnapshot) {
+		t.Fatalf("corrupt shard file: got %v, want ErrBadSnapshot", err)
+	}
+}
+
+// TestCheckpointCrashSafety is the fault-injection sweep: a checkpoint
+// is interrupted at every device-operation budget from zero until the
+// first budget at which it completes; after every interruption the
+// device must still restore the previous generation bit-exactly (or,
+// at the very tail where only the final barrier remains, the new one)
+// — never a corrupt or silently wrong stack.
+func TestCheckpointCrashSafety(t *testing.T) {
+	const maxBudget = 20000
+	ctx := context.Background()
+	inputs := clusterInputs(t, 6, 6, 21)
+	refQuery := temporalrank.SumQuery(4, 0, 300)
+
+	for budget := int64(0); ; budget++ {
+		if budget > maxBudget {
+			t.Fatalf("checkpoint still failing at budget %d", maxBudget)
+		}
+		mem := blockio.NewMemDevice(256)
+		fd := blockio.NewFaultDevice(mem, -1)
+
+		db, err := temporalrank.NewDB(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := db.BuildIndex(temporalrank.Options{Method: temporalrank.MethodExact3, BlockSize: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := temporalrank.NewPlanner(db, ix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Checkpoint(fd); err != nil {
+			t.Fatalf("budget=%d: healthy generation-1 checkpoint: %v", budget, err)
+		}
+		ansA, err := p.Run(ctx, refQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < 4; n++ {
+			if err := p.Append(n%db.NumSeries(), db.End()+1, float64(n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ansB, err := p.Run(ctx, refQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		fd.Arm(budget)
+		cerr := p.Checkpoint(fd)
+		fd.Disarm()
+		if cerr != nil && !errors.Is(cerr, blockio.ErrInjected) {
+			t.Fatalf("budget=%d: interrupted checkpoint returned untyped error: %v", budget, cerr)
+		}
+
+		// Whatever happened, the device must restore *a* committed
+		// generation: the old one after an interruption (or the new one
+		// if only the final barrier was cut), the new one on success.
+		p2, err := temporalrank.OpenSnapshot(mem)
+		if err != nil {
+			t.Fatalf("budget=%d: device unrestorable after interrupted checkpoint: %v", budget, err)
+		}
+		got, err := p2.Run(ctx, refQuery)
+		if err != nil {
+			t.Fatalf("budget=%d: restored planner query: %v", budget, err)
+		}
+		matchesA := resultsEqual(got.Results, ansA.Results) && p2.DB().NumSegments() == db.NumSegments()-4
+		matchesB := resultsEqual(got.Results, ansB.Results) && p2.DB().NumSegments() == db.NumSegments()
+		if cerr == nil {
+			if !matchesB {
+				t.Fatalf("budget=%d: committed checkpoint restored stale or wrong data", budget)
+			}
+			break // first completing budget ends the sweep
+		}
+		if !matchesA && !matchesB {
+			t.Fatalf("budget=%d: restored data matches neither generation (got %d results, %d segments)",
+				budget, len(got.Results), p2.DB().NumSegments())
+		}
+	}
+}
+
+// resultsEqual is sameResults as a predicate.
+func resultsEqual(a, b []temporalrank.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Score != b[i].Score {
+			return false
+		}
+	}
+	return true
+}
