@@ -448,8 +448,18 @@ func (c *Cluster) run(ctx context.Context, q Query) (Answer, error) {
 	if err != nil {
 		return Answer{}, err
 	}
+	return mergeGather(q.K, g), nil
+}
+
+// mergeGather deterministically merges the per-shard answers collected
+// in g into one cluster-level Answer for k: lists k-way merge with the
+// global-ID tie-break, Exact ANDs, Epsilon and Latency take the worst
+// shard, IOs sum, and Method is the shards' common method or
+// MethodMixed. Shared by the in-process Cluster and the RemoteCluster
+// router so both merge with identical semantics.
+func mergeGather(k int, g *gather) Answer {
 	merged := Answer{
-		Results: toResults(topk.Merge(q.K, g.lists...)),
+		Results: toResults(topk.Merge(k, g.lists...)),
 		Exact:   true,
 	}
 	first := true
@@ -473,7 +483,7 @@ func (c *Cluster) run(ctx context.Context, q Query) (Answer, error) {
 			merged.Latency = ans.Latency
 		}
 	}
-	return merged, nil
+	return merged
 }
 
 // queryWorkers resolves the scatter bound for one Run.

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"temporalrank"
+	"temporalrank/internal/exp"
+	"temporalrank/internal/gen"
+)
+
+// Topology for -dist-bench: small enough to boot in-process, big
+// enough that every read crosses a socket and every group has a
+// hedge target.
+const (
+	distShards   = 2
+	distReplicas = 2
+)
+
+// distBenchConfig shapes the -dist-bench workload.
+type distBenchConfig struct {
+	Concurrency int // concurrent clients against the router
+	Queries     int // total queries per run
+}
+
+// distBenchRun is one hedging configuration's measurement.
+type distBenchRun struct {
+	Name         string  `json:"name"`
+	Queries      int     `json:"queries"`
+	Concurrency  int     `json:"concurrency"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	P50LatencyNS int64   `json:"p50_latency_ns"`
+	P99LatencyNS int64   `json:"p99_latency_ns"`
+}
+
+// distBenchReport is BENCH_dist.json: the distributed read-path
+// artifact CI uploads per commit.
+type distBenchReport struct {
+	GeneratedUnix int64          `json:"generated_unix"`
+	GoMaxProcs    int            `json:"gomaxprocs"`
+	NumCPU        int            `json:"num_cpu"`
+	Objects       int            `json:"objects"`
+	AvgSegments   int            `json:"avg_segments"`
+	K             int            `json:"k"`
+	Shards        int            `json:"shards"`
+	Replicas      int            `json:"replicas"`
+	Runs          []distBenchRun `json:"runs"`
+}
+
+// runDistBench measures the distributed serving tier end to end: a
+// shards×replicas tier of in-process shard nodes behind a
+// RemoteCluster, driven over real TCP sockets, once with hedged reads
+// disabled and once with the default hedge delay. Both runs use the
+// same nodes, so the comparison isolates the hedging policy. On a
+// healthy loopback tier the two should be close — hedging pays off
+// under replica jitter, and this artifact records what it costs when
+// nothing is wrong.
+func runDistBench(path string, p exp.Params, cfg distBenchConfig) error {
+	if cfg.Concurrency < 1 {
+		return fmt.Errorf("-dist-concurrency must be >= 1, got %d", cfg.Concurrency)
+	}
+	if cfg.Queries < cfg.Concurrency {
+		return fmt.Errorf("-dist-queries (%d) must be >= -dist-concurrency (%d)", cfg.Queries, cfg.Concurrency)
+	}
+	ds, err := gen.RandomWalk(gen.RandomWalkConfig{M: p.M, Navg: p.Navg, Seed: p.Seed, Span: 1000})
+	if err != nil {
+		return err
+	}
+	cluster, err := temporalrank.NewClusterFromDB(temporalrank.NewDBFromDataset(ds), temporalrank.ClusterOptions{
+		Shards:  distShards,
+		Indexes: []temporalrank.Options{{Method: temporalrank.MethodExact3, CacheBlocks: 1024}},
+	})
+	if err != nil {
+		return err
+	}
+	root, err := os.MkdirTemp("", "dist-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+	master := filepath.Join(root, "master")
+	if err := os.MkdirAll(master, 0o755); err != nil {
+		return err
+	}
+	if err := cluster.Checkpoint(master); err != nil {
+		return err
+	}
+
+	groups := make([][]string, distShards)
+	for g := 0; g < distShards; g++ {
+		name := fmt.Sprintf("shard-%04d.trsnap", g)
+		blob, err := os.ReadFile(filepath.Join(master, name))
+		if err != nil {
+			return err
+		}
+		for r := 0; r < distReplicas; r++ {
+			dir := filepath.Join(root, fmt.Sprintf("g%dr%d", g, r))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+			if err := os.WriteFile(filepath.Join(dir, name), blob, 0o644); err != nil {
+				return err
+			}
+			node, err := temporalrank.NewShardNode(dir)
+			if err != nil {
+				return err
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			go node.Serve(ln)
+			defer node.Close()
+			groups[g] = append(groups[g], ln.Addr().String())
+		}
+	}
+
+	// The same query templates for both runs; random but seeded.
+	rng := rand.New(rand.NewSource(p.Seed))
+	span := cluster.End() - cluster.Start()
+	templates := make([]temporalrank.Query, 64)
+	for i := range templates {
+		t1 := cluster.Start() + rng.Float64()*span*(1-p.IntervalFrac)
+		templates[i] = temporalrank.SumQuery(p.K, t1, t1+span*p.IntervalFrac)
+	}
+
+	report := distBenchReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Objects:       p.M,
+		AvgSegments:   p.Navg,
+		K:             p.K,
+		Shards:        distShards,
+		Replicas:      distReplicas,
+	}
+	for _, hedged := range []bool{false, true} {
+		name, delay := "unhedged", time.Duration(-1)
+		if hedged {
+			name, delay = "hedged", 0 // 0 = the library default
+		}
+		rc, err := temporalrank.NewRemoteCluster(groups, temporalrank.RemoteClusterOptions{
+			HedgeDelay:     delay,
+			HealthInterval: -1,
+		})
+		if err != nil {
+			return err
+		}
+		run, err := measureDist(rc, templates, name, cfg)
+		rc.Close()
+		if err != nil {
+			return err
+		}
+		report.Runs = append(report.Runs, run)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// measureDist drives cfg.Queries round-robin template queries from
+// cfg.Concurrency goroutines through the router and summarizes
+// throughput and tail latency — the same shape as measureServe, but
+// every query crosses sockets.
+func measureDist(rc *temporalrank.RemoteCluster, templates []temporalrank.Query, name string, cfg distBenchConfig) (distBenchRun, error) {
+	ctx := context.Background()
+	perClient := cfg.Queries / cfg.Concurrency
+	lat := make([][]time.Duration, cfg.Concurrency)
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Concurrency)
+	start := time.Now()
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			mine := make([]time.Duration, perClient)
+			for i := range mine {
+				q := templates[(c+i)%len(templates)]
+				t0 := time.Now()
+				if _, err := rc.Run(ctx, q); err != nil {
+					errs <- fmt.Errorf("dist bench %s: %w", name, err)
+					return
+				}
+				mine[i] = time.Since(t0)
+			}
+			lat[c] = mine
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return distBenchRun{}, err
+	}
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	run := distBenchRun{
+		Name:        name,
+		Queries:     len(all),
+		Concurrency: cfg.Concurrency,
+		OpsPerSec:   float64(len(all)) / elapsed.Seconds(),
+	}
+	if len(all) > 0 {
+		run.P50LatencyNS = int64(all[len(all)/2])
+		run.P99LatencyNS = int64(all[len(all)*99/100])
+	}
+	return run, nil
+}

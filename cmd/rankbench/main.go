@@ -65,6 +65,9 @@ func main() {
 		szipf     = flag.Float64("serve-zipf", 1.2, "zipf skew for -serve-bench query repetition (> 1)")
 		scache    = flag.Int("serve-cache", 256, "result cache entries for the cached -serve-bench run")
 		rstBench  = flag.String("restart-bench", "", "write the rebuild-vs-restore cold-start benchmark (across dataset sizes) to this JSON file instead of running figures")
+		dbench    = flag.String("dist-bench", "", "write the distributed serving benchmark (2x2 shardserver tier behind a RemoteCluster, hedged vs unhedged reads) to this JSON file instead of running figures")
+		dconc     = flag.Int("dist-concurrency", 8, "concurrent clients for -dist-bench")
+		dqueries  = flag.Int("dist-queries", 2000, "total queries per -dist-bench run")
 		snapWrite = flag.String("snapshot-write", "", "build a small deterministic cluster, checkpoint it into this directory, and record probe answers (CI restart smoke, write half)")
 		snapCheck = flag.String("snapshot-check", "", "restore the cluster written by -snapshot-write from this directory in a fresh process and verify every recorded probe answer (CI restart smoke, check half)")
 	)
@@ -116,6 +119,14 @@ func main() {
 	}
 	if *snapCheck != "" {
 		if err := runSnapshotCheck(*snapCheck, p); err != nil {
+			fmt.Fprintln(os.Stderr, "rankbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *dbench != "" {
+		cfg := distBenchConfig{Concurrency: *dconc, Queries: *dqueries}
+		if err := runDistBench(*dbench, p, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "rankbench:", err)
 			os.Exit(1)
 		}

@@ -66,30 +66,188 @@ import (
 	"temporalrank/internal/tsio"
 )
 
+// config carries every flag so the validator can be table-tested
+// without touching the global flag set.
+type config struct {
+	addr    string
+	data    string
+	binary  bool
+	genSpec string
+	seed    int64
+	method  string
+	r       int
+	kmax    int
+	cache   int
+	workers int
+	build   int
+	shards  int
+	swork   int
+	timeout time.Duration
+	rcache  int
+	pprof   string
+	router  string
+	hedge   time.Duration
+}
+
 func main() {
-	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		data    = flag.String("data", "", "dataset path (CSV, or TRK1 with -binary), or a snapshot directory for durable restore/checkpoint")
-		binary  = flag.Bool("binary", false, "dataset is TRK1 binary")
-		genSpec = flag.String("gen", "", "generate a synthetic dataset instead of loading: MxN (objects x avg segments), e.g. 500x80")
-		seed    = flag.Int64("seed", 1, "seed for -gen")
-		method  = flag.String("method", "EXACT3", "comma-separated index methods for the planner (EXACT1/2/3, APPX1-B, APPX2-B, APPX1, APPX2, APPX2+)")
-		r       = flag.Int("r", 500, "breakpoint budget for approximate methods")
-		kmax    = flag.Int("kmax", 200, "max k supported by approximate methods")
-		cache   = flag.Int("cache", 0, "LRU buffer pool size in pages (0 = none)")
-		workers = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
-		build   = flag.Int("build-workers", 0, "parallel build workers for per-series construction (0 = sequential)")
-		shards  = flag.Int("shards", 1, "hash-partition the dataset across this many shards")
-		swork   = flag.Int("shard-workers", 0, "per-query shard fan-out bound (0 = GOMAXPROCS; lower it to trade idle latency for less oversubscription under full load)")
-		timeout = flag.Duration("timeout", 10*time.Second, "per-query deadline (0 = none)")
-		rcache  = flag.Int("result-cache", 0, "versioned result cache size in entries (0 = off); repeated identical queries are answered from cache and concurrent identical queries coalesce into one run")
-		pprof   = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty = off (the default — profiling endpoints are never exposed on the main listener)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.data, "data", "", "dataset path (CSV, or TRK1 with -binary), or a snapshot directory for durable restore/checkpoint")
+	flag.BoolVar(&cfg.binary, "binary", false, "dataset is TRK1 binary")
+	flag.StringVar(&cfg.genSpec, "gen", "", "generate a synthetic dataset instead of loading: MxN (objects x avg segments), e.g. 500x80")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for -gen")
+	flag.StringVar(&cfg.method, "method", "EXACT3", "comma-separated index methods for the planner (EXACT1/2/3, APPX1-B, APPX2-B, APPX1, APPX2, APPX2+)")
+	flag.IntVar(&cfg.r, "r", 500, "breakpoint budget for approximate methods")
+	flag.IntVar(&cfg.kmax, "kmax", 200, "max k supported by approximate methods")
+	flag.IntVar(&cfg.cache, "cache", 0, "LRU buffer pool size in pages (0 = none)")
+	flag.IntVar(&cfg.workers, "workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.build, "build-workers", 0, "parallel build workers for per-series construction (0 = sequential)")
+	flag.IntVar(&cfg.shards, "shards", 1, "hash-partition the dataset across this many shards")
+	flag.IntVar(&cfg.swork, "shard-workers", 0, "per-query shard fan-out bound (0 = GOMAXPROCS; lower it to trade idle latency for less oversubscription under full load)")
+	flag.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-query deadline (0 = none)")
+	flag.IntVar(&cfg.rcache, "result-cache", 0, "versioned result cache size in entries (0 = off); repeated identical queries are answered from cache and concurrent identical queries coalesce into one run")
+	flag.StringVar(&cfg.pprof, "pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty = off (the default — profiling endpoints are never exposed on the main listener)")
+	flag.StringVar(&cfg.router, "router", "", "route queries to remote shardservers instead of hosting shards: replica addresses comma-separated, shard groups semicolon-separated, e.g. \"h1:7070,h2:7070;h3:7070,h4:7070\"")
+	flag.DurationVar(&cfg.hedge, "hedge", 0, "-router mode: delay before hedging a slow shard read to another replica (0 = library default, negative = off)")
 	flag.Parse()
-	if err := run(*addr, *data, *binary, *genSpec, *seed, *method, *r, *kmax, *cache, *workers, *build, *shards, *swork, *rcache, *pprof, *timeout); err != nil {
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateConfig(cfg, set); err != nil {
+		fmt.Fprintln(os.Stderr, "rankserver:", err)
+		os.Exit(2)
+	}
+	var err error
+	if cfg.router != "" {
+		err = runRouter(cfg)
+	} else {
+		err = run(cfg.addr, cfg.data, cfg.binary, cfg.genSpec, cfg.seed, cfg.method, cfg.r, cfg.kmax, cfg.cache, cfg.workers, cfg.build, cfg.shards, cfg.swork, cfg.rcache, cfg.pprof, cfg.timeout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rankserver:", err)
 		os.Exit(1)
 	}
+}
+
+// localOnlyFlags shape locally hosted shards and are meaningless when
+// -router delegates hosting to remote shardservers; rejecting them
+// early beats silently ignoring a -gen or -method the operator
+// expected to matter.
+var localOnlyFlags = []string{
+	"data", "binary", "gen", "seed", "method", "r", "kmax",
+	"cache", "build-workers", "shards", "shard-workers", "result-cache",
+}
+
+// routerOnlyFlags tune the remote read path and do nothing for local
+// shards.
+var routerOnlyFlags = []string{"hedge"}
+
+// validateConfig rejects bad flag combinations with a one-line error
+// before any dataset is loaded or index built. set holds the names of
+// flags explicitly present on the command line, so defaults never
+// trip the mutual-exclusion checks.
+func validateConfig(c config, set map[string]bool) error {
+	if c.router != "" {
+		for _, name := range localOnlyFlags {
+			if set[name] {
+				return fmt.Errorf("-%s configures locally hosted shards and conflicts with -router (the shardservers own their data)", name)
+			}
+		}
+		_, err := parseRouterGroups(c.router)
+		return err
+	}
+	for _, name := range routerOnlyFlags {
+		if set[name] {
+			return fmt.Errorf("-%s only applies to -router mode", name)
+		}
+	}
+	if c.shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", c.shards)
+	}
+	if c.data == "" && c.genSpec == "" {
+		return fmt.Errorf("one of -data, -gen or -router is required")
+	}
+	if c.data != "" {
+		return checkDataPath(c.data, c.genSpec)
+	}
+	return nil
+}
+
+// checkDataPath validates -data before any expensive build: an
+// existing directory must accept writes (it receives checkpoint
+// generations), and a fresh snapshot-directory target must be
+// creatable. An existing regular file is a dataset; the loader
+// validates its format.
+func checkDataPath(data, genSpec string) error {
+	fi, err := os.Stat(data)
+	switch {
+	case err == nil && fi.IsDir():
+		probe := filepath.Join(data, ".rankserver.probe")
+		f, err := os.Create(probe)
+		if err != nil {
+			return fmt.Errorf("-data directory %s is not writable: %w", data, err)
+		}
+		f.Close()
+		os.Remove(probe)
+		return nil
+	case err == nil:
+		return nil
+	case os.IsNotExist(err) && genSpec != "":
+		if err := os.MkdirAll(data, 0o755); err != nil {
+			return fmt.Errorf("-data %s cannot be created: %w", data, err)
+		}
+		return nil
+	case os.IsNotExist(err):
+		return fmt.Errorf("-data %s does not exist (pass -gen to create a snapshot directory there)", data)
+	default:
+		return fmt.Errorf("-data %s: %w", data, err)
+	}
+}
+
+// parseRouterGroups splits the -router topology spec: shard groups
+// separated by semicolons, replica addresses within a group by
+// commas. Group order is shard order.
+func parseRouterGroups(spec string) ([][]string, error) {
+	var groups [][]string
+	for _, g := range strings.Split(spec, ";") {
+		var addrs []string
+		for _, a := range strings.Split(g, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("-router %q: empty shard group (want \"addr,addr;addr,addr\")", spec)
+		}
+		groups = append(groups, addrs)
+	}
+	return groups, nil
+}
+
+// runRouter serves the HTTP API over a RemoteCluster: every query
+// scatters to one replica per shard group (hedging slow reads),
+// appends replicate synchronously, and POST /checkpoint fans out to
+// the shard primaries. The endpoints and wire format are identical to
+// local mode, so clients cannot tell a router from a single node.
+func runRouter(cfg config) error {
+	groups, err := parseRouterGroups(cfg.router)
+	if err != nil {
+		return err
+	}
+	rc, err := temporalrank.NewRemoteCluster(groups, temporalrank.RemoteClusterOptions{
+		HedgeDelay:  cfg.hedge,
+		CallTimeout: cfg.timeout,
+	})
+	if err != nil {
+		return fmt.Errorf("connect shard groups %q: %w", cfg.router, err)
+	}
+	defer rc.Close()
+	srv, err := newRouterServer(rc, cfg.workers, cfg.timeout)
+	if err != nil {
+		return err
+	}
+	log.Printf("routing %d objects across %d shard groups", rc.NumSeries(), rc.NumShards())
+	banner := fmt.Sprintf("routing on %s with %d workers", cfg.addr, srv.exec.Workers())
+	return serveHTTP(cfg.addr, cfg.pprof, banner, srv, nil)
 }
 
 func run(addr, data string, binary bool, genSpec string, seed int64, methods string, r, kmax, cache, workers, build, shards, shardWorkers, resultCache int, pprofAddr string, timeout time.Duration) error {
@@ -176,9 +334,27 @@ func run(addr, data string, binary bool, genSpec string, seed int64, methods str
 	if err != nil {
 		return err
 	}
+	var onShutdown func() error
 	if snapDir != "" {
 		srv.enableCheckpoint(snapDir)
+		onShutdown = func() error {
+			elapsed, err := srv.checkpointNow()
+			if err != nil {
+				return fmt.Errorf("shutdown checkpoint to %s: %w", snapDir, err)
+			}
+			log.Printf("checkpointed to %s in %v", snapDir, elapsed.Round(time.Millisecond))
+			return nil
+		}
 	}
+	banner := fmt.Sprintf("serving %s on %s with %d workers", methods, addr, srv.exec.Workers())
+	return serveHTTP(addr, pprofAddr, banner, srv, onShutdown)
+}
+
+// serveHTTP runs srv on addr with opt-in side-listener profiling and
+// graceful shutdown: SIGINT/SIGTERM stops accepting, drains in-flight
+// requests, stops the worker pool, then runs onShutdown (local mode's
+// exit checkpoint).
+func serveHTTP(addr, pprofAddr, banner string, srv *server, onShutdown func() error) error {
 	defer srv.Close()
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 
@@ -192,13 +368,11 @@ func run(addr, data string, binary bool, genSpec string, seed int64, methods str
 		defer pprofSrv.Close()
 	}
 
-	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, drain
-	// in-flight requests, then stop the worker pool.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving %s on %s with %d workers", methods, addr, srv.exec.Workers())
+		log.Print(banner)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -214,12 +388,8 @@ func run(addr, data string, binary bool, genSpec string, seed int64, methods str
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return err
 	}
-	if snapDir != "" {
-		elapsed, err := srv.checkpointNow()
-		if err != nil {
-			return fmt.Errorf("shutdown checkpoint to %s: %w", snapDir, err)
-		}
-		log.Printf("checkpointed to %s in %v", snapDir, elapsed.Round(time.Millisecond))
+	if onShutdown != nil {
+		return onShutdown()
 	}
 	return nil
 }

@@ -14,12 +14,25 @@ import (
 	"temporalrank/internal/engine"
 )
 
-// server is the HTTP front end over a Cluster — one or more shards,
-// each an independent DB + indexes + Planner — executed through the
-// concurrent query engine. A single-node deployment is simply the
-// 1-shard cluster, so every request flows through the same Querier
-// path regardless of -shards. It implements http.Handler, so tests
-// mount it on httptest servers.
+// backend is the slice of cluster behavior the HTTP handlers need.
+// Both *temporalrank.Cluster (local shards) and
+// *temporalrank.RemoteCluster (-router mode) satisfy it, so every
+// request flows through the same handler code regardless of where the
+// shards live.
+type backend interface {
+	temporalrank.Querier
+	Append(id int, t, v float64) error
+	Score(id int, t1, t2 float64) (float64, error)
+	NumSeries() int
+}
+
+// server is the HTTP front end over a backend — either a local
+// Cluster (one or more shards, each an independent DB + indexes +
+// Planner) or a RemoteCluster routing to shardserver replicas —
+// executed through the concurrent query engine. A single-node
+// deployment is simply the 1-shard cluster, so every request flows
+// through the same Querier path regardless of -shards. It implements
+// http.Handler, so tests mount it on httptest servers.
 //
 // /query is the primary endpoint: the caller states aggregate, k,
 // interval and error tolerance; each shard's planner picks the
@@ -28,7 +41,12 @@ import (
 // /avg, /instant) delegate to the same code path with a fixed
 // aggregate.
 type server struct {
+	backend backend
+	// cluster is the local shard set; nil in -router mode, where
+	// router carries the remote topology instead. Exactly one of the
+	// two is non-nil.
 	cluster *temporalrank.Cluster
+	router  *temporalrank.RemoteCluster
 	// primary is the first index of the first non-empty shard (nil when
 	// the cluster runs brute-force): the structure /score reports and
 	// the deprecated routes inherit their ε tolerance from. Shards are
@@ -49,13 +67,8 @@ type server struct {
 }
 
 func newServer(cluster *temporalrank.Cluster, workers int, timeout time.Duration) (*server, error) {
-	s := &server{
-		cluster: cluster,
-		exec:    engine.NewQuerier(cluster, workers),
-		mux:     http.NewServeMux(),
-		timeout: timeout,
-		start:   time.Now(),
-	}
+	s := newBaseServer(cluster, workers, timeout)
+	s.cluster = cluster
 	for _, p := range cluster.Planners() {
 		if p == nil {
 			continue
@@ -64,6 +77,28 @@ func newServer(cluster *temporalrank.Cluster, workers int, timeout time.Duration
 			s.primary = ixs[0]
 		}
 		break
+	}
+	return s, nil
+}
+
+// newRouterServer fronts a RemoteCluster: same endpoints, but queries
+// scatter to shardserver replicas instead of local planners. There is
+// no local primary index (the structures live on the shard nodes), so
+// /score reports the reference method and the deprecated routes carry
+// no implied ε tolerance.
+func newRouterServer(router *temporalrank.RemoteCluster, workers int, timeout time.Duration) (*server, error) {
+	s := newBaseServer(router, workers, timeout)
+	s.router = router
+	return s, nil
+}
+
+func newBaseServer(b backend, workers int, timeout time.Duration) *server {
+	s := &server{
+		backend: b,
+		exec:    engine.NewQuerier(b, workers),
+		mux:     http.NewServeMux(),
+		timeout: timeout,
+		start:   time.Now(),
 	}
 	s.mux.HandleFunc("GET /query", s.handleQuery(""))
 	s.mux.HandleFunc("GET /topk", s.handleQuery(temporalrank.AggSum))
@@ -76,7 +111,7 @@ func newServer(cluster *temporalrank.Cluster, workers int, timeout time.Duration
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return s, nil
+	return s
 }
 
 // enableCheckpoint arms the durable-snapshot paths (POST /checkpoint
@@ -98,8 +133,26 @@ func (s *server) checkpointNow() (time.Duration, error) {
 }
 
 // handleCheckpoint serves POST /checkpoint: write a durable snapshot
-// generation now. 409 when the server runs without -data dir.
-func (s *server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+// generation now. In -router mode the request fans out to every shard
+// primary, which persists into its own -data directory; locally it
+// writes to the -data directory (409 when the server runs without
+// one).
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.router != nil {
+		ctx, cancel := s.queryCtx(r)
+		defer cancel()
+		start := time.Now()
+		if err := s.router.Checkpoint(ctx); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":     "checkpointed",
+			"dir":        "remote",
+			"elapsed_ns": int64(time.Since(start)),
+		})
+		return
+	}
 	if s.snapDir == "" {
 		writeError(w, http.StatusConflict, fmt.Errorf("no snapshot directory configured (run with -data DIR)"))
 		return
@@ -183,7 +236,7 @@ func (s *server) parseQuery(r *http.Request, fixed temporalrank.Agg) (temporalra
 	// Clamp to the number of objects: a larger k cannot yield more
 	// results, and an unbounded k would size the top-k heap from
 	// attacker input.
-	if m := s.cluster.NumSeries(); q.K > m {
+	if m := s.backend.NumSeries(); q.K > m {
 		q.K = m
 	}
 	if q.Agg == temporalrank.AggInstant {
@@ -287,7 +340,7 @@ func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if s.primary != nil {
 		method = s.primary.Method()
 	}
-	score, err := s.cluster.Score(id, t1, t2)
+	score, err := s.backend.Score(id, t1, t2)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -318,7 +371,7 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
 		return
 	}
-	if err := s.cluster.Append(req.ID, req.T, req.V); err != nil {
+	if err := s.backend.Append(req.ID, req.T, req.V); err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
@@ -357,34 +410,72 @@ type resultCacheJSON struct {
 	HitRatio  float64 `json:"hit_ratio"`
 }
 
+// routerReplicaJSON and routerGroupJSON are the /stats view of the
+// remote topology in -router mode: one entry per shard group with
+// each replica's address and health state (live/syncing/down).
+type routerReplicaJSON struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+}
+
+type routerGroupJSON struct {
+	Shard    int                 `json:"shard"`
+	Replicas []routerReplicaJSON `json:"replicas"`
+}
+
 // statsResponse is the body of /stats. The top-level index fields
 // mirror the primary index for pre-planner clients; the indexes array
 // covers every structure on every shard, and the aggregate fields sum
-// over them.
+// over them. In -router mode the index fields are absent (the
+// structures live on the shard nodes) and router carries the replica
+// topology instead.
 type statsResponse struct {
-	Method        string           `json:"method"`
-	Shards        int              `json:"shards"`
-	Objects       int              `json:"objects"`
-	Segments      int              `json:"segments"`
-	DomainStart   float64          `json:"domain_start"`
-	DomainEnd     float64          `json:"domain_end"`
-	PerShard      []shardStatsJSON `json:"per_shard"`
-	ResultCache   *resultCacheJSON `json:"result_cache,omitempty"`
-	Indexes       []indexStatsJSON `json:"indexes"`
-	IndexPages    int              `json:"index_pages"`
-	IndexBytes    int64            `json:"index_bytes"`
-	BlockSize     int              `json:"block_size"`
-	DeviceIOs     uint64           `json:"device_ios"`
-	Workers       int              `json:"workers"`
-	Queries       uint64           `json:"queries"`
-	QueryErrors   uint64           `json:"query_errors"`
-	BusyWorkers   int64            `json:"busy_workers"`
-	QueryTimeNS   int64            `json:"query_time_ns"`
-	UptimeSeconds float64          `json:"uptime_seconds"`
+	Method        string            `json:"method"`
+	Router        []routerGroupJSON `json:"router,omitempty"`
+	Shards        int               `json:"shards"`
+	Objects       int               `json:"objects"`
+	Segments      int               `json:"segments"`
+	DomainStart   float64           `json:"domain_start"`
+	DomainEnd     float64           `json:"domain_end"`
+	PerShard      []shardStatsJSON  `json:"per_shard"`
+	ResultCache   *resultCacheJSON  `json:"result_cache,omitempty"`
+	Indexes       []indexStatsJSON  `json:"indexes"`
+	IndexPages    int               `json:"index_pages"`
+	IndexBytes    int64             `json:"index_bytes"`
+	BlockSize     int               `json:"block_size"`
+	DeviceIOs     uint64            `json:"device_ios"`
+	Workers       int               `json:"workers"`
+	Queries       uint64            `json:"queries"`
+	QueryErrors   uint64            `json:"query_errors"`
+	BusyWorkers   int64             `json:"busy_workers"`
+	QueryTimeNS   int64             `json:"query_time_ns"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	est := s.exec.Stats()
+	if s.router != nil {
+		out := statsResponse{
+			Method:        "REMOTE",
+			Shards:        s.router.NumShards(),
+			Objects:       s.router.NumSeries(),
+			Workers:       s.exec.Workers(),
+			Queries:       est.Queries,
+			QueryErrors:   est.Errors,
+			BusyWorkers:   est.Busy,
+			QueryTimeNS:   int64(est.TotalTime),
+			UptimeSeconds: time.Since(s.start).Seconds(),
+		}
+		for _, g := range s.router.Health() {
+			rg := routerGroupJSON{Shard: g.Shard}
+			for _, rep := range g.Replicas {
+				rg.Replicas = append(rg.Replicas, routerReplicaJSON{Addr: rep.Addr, State: rep.State})
+			}
+			out.Router = append(out.Router, rg)
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
 	cst := s.cluster.Stats()
 	out := statsResponse{
 		Shards:        cst.Shards,
@@ -453,6 +544,8 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, temporalrank.ErrKTooLarge):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, temporalrank.ErrShardUnavailable):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

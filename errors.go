@@ -51,4 +51,10 @@ var (
 	// ErrSnapshotVersion reports a structurally valid snapshot written
 	// by an incompatible (newer) snapshot format version.
 	ErrSnapshotVersion = trerr.ErrSnapshotVersion
+
+	// ErrShardUnavailable reports a RemoteCluster shard group with no
+	// replica able to answer — every replica is down, unreachable, or
+	// still bootstrapping from a snapshot. Transient by design: the
+	// same query can succeed once one replica recovers.
+	ErrShardUnavailable = trerr.ErrShardUnavailable
 )

@@ -1,0 +1,190 @@
+// Package remote is the stdlib-only RPC layer under the distributed
+// serving tier: length-prefixed gob frames over TCP, per-call
+// deadlines propagated to the server, bounded retries with jittered
+// backoff, per-host connection pooling, and chunked response streaming
+// (used for snapshot transfer during replica bootstrap).
+//
+// Wire shape — every frame is
+//
+//	[4-byte big-endian length][gob payload]
+//
+// where the payload is one request or response envelope. A request
+// carries a method name, an absolute deadline, and an opaque
+// gob-encoded body; a response carries an error code (empty on
+// success), a body, and a More flag — a streaming handler emits a
+// chain of More=true frames followed by one final More=false frame,
+// which also carries the error code if the stream failed mid-way.
+//
+// Application failures travel as typed codes that map back onto the
+// package's sentinel errors (internal/trerr), so errors.Is keeps
+// working across process boundaries: a shard server failing with
+// trerr.ErrUnknownSeries surfaces on the client as an error for which
+// errors.Is(err, trerr.ErrUnknownSeries) is true. Transport failures
+// (dial errors, torn frames, closed connections) are ordinary errors
+// that do NOT unwrap to *remote.Error — the distinction callers use to
+// decide between failover (transport: the replica may be dead) and
+// propagation (application: every replica would answer the same).
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"temporalrank/internal/trerr"
+)
+
+// DefaultMaxFrame bounds a single frame's payload; a corrupt or
+// malicious length prefix fails fast instead of ballooning allocation.
+const DefaultMaxFrame = 64 << 20
+
+// request is the client→server envelope of one call.
+type request struct {
+	// Method names the registered handler.
+	Method string
+	// Deadline is the caller's absolute deadline in Unix nanoseconds
+	// (0 = none); the server derives the handler context from it, so a
+	// timed-out client does not leave the handler running unbounded.
+	Deadline int64
+	// Body is the gob-encoded argument (nil for argument-less calls).
+	Body []byte
+}
+
+// response is the server→client envelope. A unary call answers with a
+// single More=false frame. A streaming call answers with zero or more
+// More=true frames whose bodies are raw stream chunks, then a final
+// More=false frame (carrying Code/Msg when the stream failed).
+type response struct {
+	Code string
+	Msg  string
+	More bool
+	Body []byte
+}
+
+// Error is an application-level failure relayed from a remote handler.
+// It unwraps to the sentinel its code names, so errors.Is classifies
+// remote failures exactly like local ones. A failed call that does NOT
+// unwrap to *Error is a transport failure (connection, framing,
+// timeout) — the replica itself may be unhealthy.
+type Error struct {
+	Code string
+	Msg  string
+	base error
+}
+
+func (e *Error) Error() string {
+	if e.Msg != "" {
+		return e.Msg
+	}
+	return "remote error " + e.Code
+}
+
+func (e *Error) Unwrap() error { return e.base }
+
+// wireCodes maps sentinel errors to their stable wire codes. Order
+// matters only for encoding specificity; every entry is bidirectional.
+var wireCodes = []struct {
+	code string
+	err  error
+}{
+	{"unknown_series", trerr.ErrUnknownSeries},
+	{"k_too_large", trerr.ErrKTooLarge},
+	{"not_materialized", trerr.ErrNotMaterialized},
+	{"bad_interval", trerr.ErrBadInterval},
+	{"bad_config", trerr.ErrBadConfig},
+	{"no_input", trerr.ErrNoInput},
+	{"bad_snapshot", trerr.ErrBadSnapshot},
+	{"snapshot_version", trerr.ErrSnapshotVersion},
+	{"unavailable", trerr.ErrShardUnavailable},
+	{"deadline", context.DeadlineExceeded},
+	{"canceled", context.Canceled},
+}
+
+// genericCode tags application errors that match no sentinel.
+const genericCode = "error"
+
+// encodeError flattens a handler failure to its wire code and message.
+func encodeError(err error) (code, msg string) {
+	for _, wc := range wireCodes {
+		if errors.Is(err, wc.err) {
+			return wc.code, err.Error()
+		}
+	}
+	return genericCode, err.Error()
+}
+
+// decodeError rebuilds the typed error on the client side.
+func decodeError(code, msg string) error {
+	for _, wc := range wireCodes {
+		if wc.code == code {
+			return &Error{Code: code, Msg: msg, base: wc.err}
+		}
+	}
+	return &Error{Code: code, Msg: msg}
+}
+
+// writeFrame gob-encodes v and writes it as one length-prefixed frame.
+func writeFrame(w io.Writer, maxFrame int, v any) error {
+	var b bytes.Buffer
+	b.Write(make([]byte, 4))
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		return fmt.Errorf("remote: encode frame: %w", err)
+	}
+	n := b.Len() - 4
+	if n > maxFrame {
+		return fmt.Errorf("remote: frame of %d bytes exceeds the %d-byte bound", n, maxFrame)
+	}
+	binary.BigEndian.PutUint32(b.Bytes()[:4], uint32(n))
+	if _, err := w.Write(b.Bytes()); err != nil {
+		return fmt.Errorf("remote: write frame: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed frame and gob-decodes it into v.
+func readFrame(r io.Reader, maxFrame int, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("remote: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int64(n) > int64(maxFrame) {
+		return fmt.Errorf("remote: frame claims %d bytes, bound is %d", n, maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("remote: read frame body: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(v); err != nil {
+		return fmt.Errorf("remote: decode frame: %w", err)
+	}
+	return nil
+}
+
+// encodeBody gob-encodes a call argument or reply value.
+func encodeBody(v any) ([]byte, error) {
+	if v == nil {
+		return nil, nil
+	}
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		return nil, fmt.Errorf("remote: encode body: %w", err)
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeBody gob-decodes a request body into v — the helper handlers
+// use to unpack their argument.
+func DecodeBody(b []byte, v any) error { return decodeBody(b, v) }
+
+// decodeBody gob-decodes a call argument or reply value.
+func decodeBody(b []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+		return fmt.Errorf("remote: decode body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package remote
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler answers one unary call: decode the argument from req, return
+// the reply value (gob-encoded into the response body) or an error
+// (flattened to a wire code). A nil reply sends an empty body.
+type Handler func(ctx context.Context, req []byte) (any, error)
+
+// StreamHandler answers one streaming call by writing the raw response
+// byte stream to w; the server chunks it into More=true frames. A
+// returned error is attached to the final frame so the client's reader
+// fails typed instead of truncating silently.
+type StreamHandler func(ctx context.Context, req []byte, w io.Writer) error
+
+// Server dispatches length-prefixed gob calls to registered handlers.
+// Each accepted connection is served by one goroutine processing calls
+// sequentially (the client never pipelines).
+type Server struct {
+	maxFrame int
+
+	mu      sync.Mutex
+	unary   map[string]Handler
+	stream  map[string]StreamHandler
+	lns     map[net.Listener]struct{}
+	conns   map[net.Conn]struct{}
+	closed  bool
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	serveWG sync.WaitGroup
+}
+
+// NewServer creates an empty server. maxFrame <= 0 selects
+// DefaultMaxFrame.
+func NewServer(maxFrame int) *Server {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		maxFrame: maxFrame,
+		unary:    make(map[string]Handler),
+		stream:   make(map[string]StreamHandler),
+		lns:      make(map[net.Listener]struct{}),
+		conns:    make(map[net.Conn]struct{}),
+		baseCtx:  ctx,
+		cancel:   cancel,
+	}
+}
+
+// Handle registers a unary handler. Registration after Serve has
+// started is safe; re-registering a name replaces the handler.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	s.unary[method] = h
+	s.mu.Unlock()
+}
+
+// HandleStream registers a streaming handler.
+func (s *Server) HandleStream(method string, h StreamHandler) {
+	s.mu.Lock()
+	s.stream[method] = h
+	s.mu.Unlock()
+}
+
+// Serve accepts connections on ln until the listener or the server is
+// closed. It blocks; run it on its own goroutine. The returned error
+// is nil after a clean Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("remote: server is closed")
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+	}()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("remote: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.serveWG.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.serveWG.Done()
+			s.serveConn(nc)
+			s.mu.Lock()
+			delete(s.conns, nc)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops all listeners, severs open connections, cancels every
+// in-flight handler context, and waits for handler goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	s.cancel()
+	s.serveWG.Wait()
+	return nil
+}
+
+// serveConn processes calls on one connection until it errors or the
+// peer hangs up.
+func (s *Server) serveConn(nc net.Conn) {
+	defer nc.Close()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+	for {
+		// Idle connections may sit in the client pool indefinitely:
+		// no read deadline between requests.
+		_ = nc.SetDeadline(time.Time{})
+		var req request
+		if err := readFrame(br, s.maxFrame, &req); err != nil {
+			return
+		}
+		if !s.dispatch(nc, bw, req) {
+			return
+		}
+	}
+}
+
+// dispatch runs one call and reports whether the connection is still
+// usable for the next one.
+func (s *Server) dispatch(nc net.Conn, bw *bufio.Writer, req request) bool {
+	ctx := s.baseCtx
+	var cancel context.CancelFunc
+	if req.Deadline != 0 {
+		deadline := time.Unix(0, req.Deadline)
+		_ = nc.SetDeadline(deadline)
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	s.mu.Lock()
+	uh := s.unary[req.Method]
+	sh := s.stream[req.Method]
+	s.mu.Unlock()
+	switch {
+	case uh != nil:
+		return s.runUnary(bw, ctx, uh, req)
+	case sh != nil:
+		return s.runStream(bw, ctx, sh, req)
+	default:
+		return s.reply(bw, response{Code: genericCode, Msg: "remote: unknown method " + req.Method})
+	}
+}
+
+func (s *Server) runUnary(bw *bufio.Writer, ctx context.Context, h Handler, req request) bool {
+	out, err := h(ctx, req.Body)
+	if err != nil {
+		code, msg := encodeError(err)
+		return s.reply(bw, response{Code: code, Msg: msg})
+	}
+	body, err := encodeBody(out)
+	if err != nil {
+		code, msg := encodeError(err)
+		return s.reply(bw, response{Code: code, Msg: msg})
+	}
+	return s.reply(bw, response{Body: body})
+}
+
+func (s *Server) runStream(bw *bufio.Writer, ctx context.Context, h StreamHandler, req request) bool {
+	cw := &chunkWriter{s: s, bw: bw}
+	err := h(ctx, req.Body, cw)
+	if cw.fail {
+		return false // a chunk failed to transmit: connection is torn
+	}
+	final := response{}
+	if err != nil {
+		final.Code, final.Msg = encodeError(err)
+	}
+	return s.reply(bw, final)
+}
+
+// reply writes one response frame; false means the connection is dead.
+func (s *Server) reply(bw *bufio.Writer, resp response) bool {
+	if err := writeFrame(bw, s.maxFrame, &resp); err != nil {
+		return false
+	}
+	return bw.Flush() == nil
+}
+
+// streamChunk bounds one More=true frame's body. Small enough to keep
+// per-frame allocation modest, large enough that a snapshot transfer
+// is not dominated by framing overhead.
+const streamChunk = 256 << 10
+
+// chunkWriter adapts a StreamHandler's io.Writer to More=true frames.
+type chunkWriter struct {
+	s    *Server
+	bw   *bufio.Writer
+	fail bool
+}
+
+func (cw *chunkWriter) Write(p []byte) (int, error) {
+	if cw.fail {
+		return 0, fmt.Errorf("remote: stream connection failed")
+	}
+	total := 0
+	for len(p) > 0 {
+		n := min(len(p), streamChunk)
+		frame := response{More: true, Body: p[:n]}
+		if err := writeFrame(cw.bw, cw.s.maxFrame, &frame); err != nil {
+			cw.fail = true
+			return total, err
+		}
+		p = p[n:]
+		total += n
+	}
+	// No flush per write: the final frame's flush in reply() pushes
+	// everything; bufio flushes intermediate data as its buffer fills.
+	return total, nil
+}

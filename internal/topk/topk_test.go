@@ -294,3 +294,74 @@ func TestResultsDoesNotDrainCollector(t *testing.T) {
 		t.Error("results not sorted")
 	}
 }
+
+// permutations returns every ordering of n list indices.
+func permutations(n int) [][]int {
+	if n == 1 {
+		return [][]int{{0}}
+	}
+	var out [][]int
+	for _, sub := range permutations(n - 1) {
+		for pos := 0; pos <= len(sub); pos++ {
+			p := make([]int, 0, n)
+			p = append(p, sub[:pos]...)
+			p = append(p, n-1)
+			p = append(p, sub[pos:]...)
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TestMergeDuplicateScoresOrderIndependent models network reordering
+// in the distributed tier: per-shard top-k lists carrying many
+// duplicate scores arrive at the router in arbitrary order, and the
+// merged global list must be identical for EVERY arrival order — the
+// deterministic ascending-global-ID tie-break cannot depend on which
+// shard answered first.
+func TestMergeDuplicateScoresOrderIndependent(t *testing.T) {
+	// Scores drawn from a tiny set so cross-list duplicates are the
+	// common case, not the corner case.
+	scorePool := []float64{9, 7, 7, 7, 4, 4, 1}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		numLists := 2 + rng.Intn(3) // 2..4 lists: all orders checked below
+		lists := make([][]Item, numLists)
+		var all []Item
+		nextID := tsdata.SeriesID(0)
+		for i := range lists {
+			n := 1 + rng.Intn(6)
+			for j := 0; j < n; j++ {
+				it := Item{ID: nextID, Score: scorePool[rng.Intn(len(scorePool))]}
+				nextID++
+				lists[i] = append(lists[i], it)
+				all = append(all, it)
+			}
+			SortItems(lists[i])
+		}
+		k := 1 + rng.Intn(len(all))
+		// Reference: a single node's answer — global sort, first k.
+		want := make([]Item, len(all))
+		copy(want, all)
+		SortItems(want)
+		if len(want) > k {
+			want = want[:k]
+		}
+		for _, perm := range permutations(numLists) {
+			shuffled := make([][]Item, numLists)
+			for pos, idx := range perm {
+				shuffled[pos] = lists[idx]
+			}
+			got := Merge(k, shuffled...)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d perm %v: %d items, want %d", trial, perm, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("trial %d perm %v rank %d: got (%d, %g), want (%d, %g) — merge depends on list arrival order",
+						trial, perm, j, got[j].ID, got[j].Score, want[j].ID, want[j].Score)
+				}
+			}
+		}
+	}
+}

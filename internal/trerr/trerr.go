@@ -43,4 +43,10 @@ var (
 	// ErrSnapshotVersion reports a structurally valid snapshot written
 	// by an incompatible (newer) format version of this library.
 	ErrSnapshotVersion = errors.New("unsupported snapshot format version")
+
+	// ErrShardUnavailable reports a distributed shard group with no
+	// replica able to answer: every replica is down, still syncing, or
+	// unreachable. The query may succeed on retry once a replica
+	// recovers or catches up.
+	ErrShardUnavailable = errors.New("shard unavailable")
 )

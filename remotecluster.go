@@ -1,0 +1,717 @@
+package temporalrank
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"temporalrank/internal/remote"
+	"temporalrank/internal/scatter"
+	"temporalrank/internal/topk"
+	"temporalrank/internal/tsdata"
+)
+
+// RemoteCluster is the distributed Querier: the router half of the
+// serving tier. Series are placed over N shard groups exactly as in
+// the in-process Cluster (the placement is fixed by the snapshots the
+// shard nodes restored); each group is served by R replica addresses,
+// any one of which can answer a read. A query scatters over the
+// groups, each group answers through a hedged fastest-of-two read
+// across its live replicas, and the per-group top-k lists — already in
+// global IDs — k-way merge through the same deterministic mergeGather
+// as the in-process Cluster, so a RemoteCluster answers bit-identically
+// to a single node over the same data.
+//
+// Failure semantics:
+//
+//   - A transport failure (dead connection, unreachable host) marks the
+//     replica Down and the read fails over to the next live replica; the
+//     query succeeds as long as one replica per group answers.
+//   - An application error (bad query, unknown series) is returned
+//     as-is: every replica would answer the same, so no failover.
+//   - A group with no answering replica fails the query with a typed
+//     ErrShardUnavailable.
+//   - Appends go to the group's primary (first live replica) and are
+//     replayed synchronously to the other live replicas; a follower that
+//     fails or diverges is marked for resync and stops serving reads
+//     until the health loop re-bootstraps it from the primary's streamed
+//     snapshot (ShardNode "restore"), after which it serves again —
+//     bit-identical, since the snapshot carries the full stack.
+//
+// RemoteCluster is safe for concurrent use.
+type RemoteCluster struct {
+	client    *remote.Client
+	ownClient bool
+	groups    []*remoteGroup
+	shardOf   []int // global series ID → group index
+	workers   int
+	hedge     time.Duration
+	callTO    time.Duration
+
+	stop    chan struct{}
+	healthW sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// ReplicaState is one replica's health as the router sees it.
+type ReplicaState int32
+
+const (
+	// ReplicaLive serves reads and replicated appends.
+	ReplicaLive ReplicaState = iota
+	// ReplicaSyncing is reachable but lagging or missing its shard; it
+	// serves nothing until the health loop re-bootstraps it.
+	ReplicaSyncing
+	// ReplicaDown is unreachable.
+	ReplicaDown
+)
+
+func (s ReplicaState) String() string {
+	switch s {
+	case ReplicaLive:
+		return "live"
+	case ReplicaSyncing:
+		return "syncing"
+	default:
+		return "down"
+	}
+}
+
+// remoteReplica is one replica address plus its health state.
+type remoteReplica struct {
+	addr  string
+	state atomic.Int32
+}
+
+func (r *remoteReplica) load() ReplicaState   { return ReplicaState(r.state.Load()) }
+func (r *remoteReplica) store(s ReplicaState) { r.state.Store(int32(s)) }
+
+// remoteGroup is one shard's replica set.
+type remoteGroup struct {
+	shard    int
+	replicas []*remoteReplica
+	// appendMu serializes appends and resyncs within the group: appends
+	// replay synchronously to every live replica under it, and a resync
+	// holds it for the snapshot transfer, so a re-bootstrapped replica
+	// is exactly as current as its source when it goes live.
+	appendMu sync.Mutex
+	// next rotates the read start across replicas for load spread.
+	next atomic.Uint32
+}
+
+// liveReplicas snapshots the group's currently-live replicas, rotated
+// so consecutive reads start at different replicas.
+func (g *remoteGroup) liveReplicas() []*remoteReplica {
+	live := make([]*remoteReplica, 0, len(g.replicas))
+	start := int(g.next.Add(1)) % len(g.replicas)
+	for i := 0; i < len(g.replicas); i++ {
+		r := g.replicas[(start+i)%len(g.replicas)]
+		if r.load() == ReplicaLive {
+			live = append(live, r)
+		}
+	}
+	return live
+}
+
+// RemoteClusterOptions configures NewRemoteCluster.
+type RemoteClusterOptions struct {
+	// Workers bounds how many groups one Run queries concurrently
+	// (default: all of them).
+	Workers int
+	// HedgeDelay is how long a group read waits on its first replica
+	// before launching the hedge request at a second one; the faster
+	// answer wins and the loser is canceled. 0 selects the 2ms default;
+	// a negative value disables hedging.
+	HedgeDelay time.Duration
+	// HealthInterval is the period of the background health sweep that
+	// probes replicas and re-bootstraps lagging ones. 0 selects the 1s
+	// default; a negative value disables the loop (HealthCheck can
+	// still be driven manually).
+	HealthInterval time.Duration
+	// CallTimeout bounds RPCs issued by methods without a caller
+	// context (Append, Score). 0 leaves the Client's own guard (10s).
+	CallTimeout time.Duration
+	// Client overrides the RPC client (shared pools, custom timeouts).
+	// Nil builds a private one, closed with the cluster.
+	Client *remote.Client
+}
+
+// defaultHedgeDelay is the fastest-of-two trigger: long enough that the
+// common-case answer arrives first and no hedge is sent, short enough
+// to cut a straggler's tail.
+const defaultHedgeDelay = 2 * time.Millisecond
+
+// NewRemoteCluster connects to the given shard groups — groups[i]
+// lists the replica addresses serving shard i — probes the topology,
+// and returns a ready Querier. At least one replica per group must be
+// reachable and hosting its shard; the others may be down or empty
+// (they are marked for re-bootstrap by the health loop). The global
+// series placement is read from the replicas' shard manifests and
+// validated exhaustively: every series must be owned by exactly one
+// group, and every replica must agree on the cluster shape.
+func NewRemoteCluster(groups [][]string, opts RemoteClusterOptions) (*RemoteCluster, error) {
+	return NewRemoteClusterContext(context.Background(), groups, opts)
+}
+
+// NewRemoteClusterContext is NewRemoteCluster with a caller context
+// governing the topology probe.
+func NewRemoteClusterContext(ctx context.Context, groups [][]string, opts RemoteClusterOptions) (*RemoteCluster, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("temporalrank: remote cluster needs >= 1 shard group: %w", ErrBadConfig)
+	}
+	c := &RemoteCluster{
+		client:  opts.Client,
+		workers: opts.Workers,
+		hedge:   opts.HedgeDelay,
+		callTO:  opts.CallTimeout,
+		stop:    make(chan struct{}),
+	}
+	if c.hedge == 0 {
+		c.hedge = defaultHedgeDelay
+	}
+	if c.client == nil {
+		c.client = remote.NewClient(remote.ClientOptions{})
+		c.ownClient = true
+	}
+	c.groups = make([]*remoteGroup, len(groups))
+	for i, addrs := range groups {
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("temporalrank: shard group %d has no replicas: %w", i, ErrBadConfig)
+		}
+		g := &remoteGroup{shard: i, replicas: make([]*remoteReplica, len(addrs))}
+		for j, addr := range addrs {
+			if addr == "" {
+				return nil, fmt.Errorf("temporalrank: shard group %d has an empty address: %w", i, ErrBadConfig)
+			}
+			g.replicas[j] = &remoteReplica{addr: addr}
+		}
+		c.groups[i] = g
+	}
+	if err := c.discover(ctx); err != nil {
+		if c.ownClient {
+			c.client.Close()
+		}
+		return nil, err
+	}
+	interval := opts.HealthInterval
+	if interval == 0 {
+		interval = time.Second
+	}
+	if interval > 0 {
+		c.healthW.Add(1)
+		go c.healthLoop(interval)
+	}
+	return c, nil
+}
+
+// discover probes every replica, validates the cluster shape, and
+// builds the global routing table.
+func (c *RemoteCluster) discover(ctx context.Context) error {
+	numShards, numSeries := -1, -1
+	routing := make([][]int, len(c.groups))
+	for _, g := range c.groups {
+		found := false
+		for _, r := range g.replicas {
+			var meta rpcMetaReply
+			if err := c.client.Call(ctx, r.addr, "meta", nil, &meta); err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+				r.store(ReplicaDown)
+				continue
+			}
+			info, ok := findShardInfo(meta.Shards, g.shard)
+			if !ok {
+				r.store(ReplicaSyncing) // reachable, not hosting yet
+				continue
+			}
+			if numShards == -1 {
+				numShards, numSeries = info.NumShards, info.NumSeries
+			}
+			if info.NumShards != numShards || info.NumSeries != numSeries {
+				return fmt.Errorf("temporalrank: replica %s disagrees on cluster shape (%d/%d vs %d/%d): %w",
+					r.addr, info.NumShards, info.NumSeries, numShards, numSeries, ErrBadConfig)
+			}
+			r.store(ReplicaLive)
+			if !found {
+				var rt rpcRoutingReply
+				if err := c.client.Call(ctx, r.addr, "routing", rpcShardReq{Shard: g.shard}, &rt); err != nil {
+					return fmt.Errorf("temporalrank: routing for shard %d from %s: %w", g.shard, r.addr, err)
+				}
+				routing[g.shard] = rt.Global
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("temporalrank: no reachable replica hosts shard %d: %w", g.shard, ErrShardUnavailable)
+		}
+	}
+	if numShards != len(c.groups) {
+		return fmt.Errorf("temporalrank: snapshots describe %d shards but %d groups were given: %w",
+			numShards, len(c.groups), ErrBadConfig)
+	}
+	c.shardOf = make([]int, numSeries)
+	for g := range c.shardOf {
+		c.shardOf[g] = -1
+	}
+	for shard, global := range routing {
+		prev := -1
+		for _, id := range global {
+			if id < 0 || id >= numSeries || c.shardOf[id] != -1 {
+				return fmt.Errorf("temporalrank: shard %d routes series %d twice or out of range: %w", shard, id, ErrBadConfig)
+			}
+			if id <= prev {
+				return fmt.Errorf("temporalrank: shard %d global-ID list not ascending: %w", shard, ErrBadConfig)
+			}
+			c.shardOf[id] = shard
+			prev = id
+		}
+	}
+	for id, s := range c.shardOf {
+		if s == -1 {
+			return fmt.Errorf("temporalrank: no shard group owns series %d: %w", id, ErrBadConfig)
+		}
+	}
+	return nil
+}
+
+// findShardInfo locates one shard's entry in a meta reply.
+func findShardInfo(infos []rpcShardInfo, shard int) (rpcShardInfo, bool) {
+	for _, info := range infos {
+		if info.Shard == shard {
+			return info, true
+		}
+	}
+	return rpcShardInfo{}, false
+}
+
+// Compile-time check: the remote cluster is a Querier like everything
+// else in the stack.
+var _ Querier = (*RemoteCluster)(nil)
+
+// NumShards returns the number of shard groups.
+func (c *RemoteCluster) NumShards() int { return len(c.groups) }
+
+// NumSeries returns the global object count m.
+func (c *RemoteCluster) NumSeries() int { return len(c.shardOf) }
+
+// Close stops the health loop and releases the private RPC client (a
+// caller-supplied Client is left open).
+func (c *RemoteCluster) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(c.stop)
+	c.healthW.Wait()
+	if c.ownClient {
+		return c.client.Close()
+	}
+	return nil
+}
+
+// Run implements Querier by scatter-gather over the shard groups: each
+// group answers through a hedged read across its live replicas, and
+// the per-group lists merge deterministically — identical semantics to
+// the in-process Cluster, over sockets.
+func (c *RemoteCluster) Run(ctx context.Context, q Query) (Answer, error) {
+	q = q.withDefaults()
+	if err := q.Validate(); err != nil {
+		return Answer{}, err
+	}
+	g := getGather(len(c.groups))
+	defer putGather(g)
+	err := scatter.Run(ctx, len(c.groups), c.queryWorkers(), func(ctx context.Context, i int) error {
+		ans, err := c.groupRead(ctx, c.groups[i], q)
+		if err != nil {
+			return err
+		}
+		// Shard nodes answer in global IDs already (remapped through the
+		// ascending manifest list), so the answer is merge-ready as-is.
+		items := make([]topk.Item, len(ans.Results))
+		for j, r := range ans.Results {
+			items[j] = topk.Item{ID: tsdata.SeriesID(r.ID), Score: r.Score}
+		}
+		g.lists[i] = items
+		g.answers[i] = ans
+		g.answered[i] = true
+		return nil
+	})
+	if err != nil {
+		return Answer{}, err
+	}
+	return mergeGather(q.K, g), nil
+}
+
+// queryWorkers resolves the scatter bound for one Run.
+func (c *RemoteCluster) queryWorkers() int {
+	if c.workers > 0 {
+		return c.workers
+	}
+	return len(c.groups)
+}
+
+// laneResult is one read lane's outcome.
+type laneResult struct {
+	ans Answer
+	ok  bool
+	err error
+}
+
+// groupRead answers q from one group: the first lane queries the first
+// live replica immediately; if the answer has not arrived within the
+// hedge delay, a second lane queries the next replica and the faster
+// answer wins (the loser is canceled). Both lanes fail over on
+// transport errors — a dead replica is marked Down and the lane moves
+// to the next candidate — while application errors are final.
+func (c *RemoteCluster) groupRead(ctx context.Context, g *remoteGroup, q Query) (Answer, error) {
+	cands := g.liveReplicas()
+	if len(cands) == 0 {
+		return Answer{}, fmt.Errorf("temporalrank: shard %d has no live replica: %w", g.shard, ErrShardUnavailable)
+	}
+	lctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var next atomic.Int32
+	results := make(chan laneResult, 2) // buffered: a losing lane's send never blocks
+	lane := func() {
+		var lastErr error
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(cands) {
+				results <- laneResult{err: lastErr}
+				return
+			}
+			r := cands[i]
+			var rep rpcQueryReply
+			err := c.client.CallOnce(lctx, r.addr, "query", rpcQueryReq{Shard: g.shard, Query: q}, &rep)
+			if err == nil {
+				results <- laneResult{ans: rep.Answer, ok: true}
+				return
+			}
+			if lctx.Err() != nil {
+				results <- laneResult{err: err}
+				return
+			}
+			switch {
+			case remote.Retryable(err):
+				// Transport failure: the replica may be dead. Stop routing
+				// to it and fail over within the lane.
+				r.store(ReplicaDown)
+				lastErr = err
+			case errors.Is(err, ErrShardUnavailable):
+				// Reachable but not hosting the shard (restarted empty):
+				// mark for re-bootstrap and fail over.
+				r.store(ReplicaSyncing)
+				lastErr = err
+			default:
+				results <- laneResult{err: err} // application error: final
+				return
+			}
+		}
+	}
+	lanes := 1
+	go lane()
+	if c.hedge >= 0 && len(cands) > 1 {
+		lanes = 2
+		go func() {
+			t := time.NewTimer(c.hedge)
+			defer t.Stop()
+			select {
+			case <-lctx.Done():
+				results <- laneResult{err: lctx.Err()}
+				return
+			case <-t.C:
+			}
+			lane()
+		}()
+	}
+	var appErr, transportErr error
+	for i := 0; i < lanes; i++ {
+		lr := <-results
+		if lr.ok {
+			return lr.ans, nil
+		}
+		var re *remote.Error
+		switch {
+		case lr.err == nil:
+		case errors.As(lr.err, &re) && !errors.Is(lr.err, ErrShardUnavailable):
+			appErr = lr.err
+		default:
+			transportErr = lr.err
+		}
+	}
+	if appErr != nil {
+		return Answer{}, appErr
+	}
+	if err := ctx.Err(); err != nil {
+		return Answer{}, err
+	}
+	if transportErr != nil {
+		return Answer{}, fmt.Errorf("temporalrank: shard %d has no answering replica: %w: %w", g.shard, transportErr, ErrShardUnavailable)
+	}
+	return Answer{}, fmt.Errorf("temporalrank: shard %d has no answering replica: %w", g.shard, ErrShardUnavailable)
+}
+
+// Append extends global object id with a new segment ending at (t, v).
+// The segment is applied on the owning group's primary (its first live
+// replica) and replayed synchronously to the group's other live
+// replicas, so any live replica serves reads that include it. A
+// follower that fails the replay or diverges is marked for resync and
+// stops serving until the health loop re-bootstraps it.
+func (c *RemoteCluster) Append(id int, t, v float64) error {
+	if id < 0 || id >= len(c.shardOf) {
+		return fmt.Errorf("temporalrank: %w: %d", ErrUnknownSeries, id)
+	}
+	g := c.groups[c.shardOf[id]]
+	g.appendMu.Lock()
+	defer g.appendMu.Unlock()
+	ctx, cancel := c.callCtx()
+	defer cancel()
+	req := rpcAppendReq{Shard: g.shard, ID: id, T: t, V: v}
+	var (
+		primary *remoteReplica
+		prep    rpcAppendReply
+		lastErr error
+	)
+	for _, r := range g.replicas {
+		if r.load() != ReplicaLive {
+			continue
+		}
+		var rep rpcAppendReply
+		// CallOnce: an append is not idempotent, so a transport failure
+		// is never retried transparently — the replica is marked for
+		// resync instead, which converges it whether or not the lost
+		// call applied.
+		err := c.client.CallOnce(ctx, r.addr, "append", req, &rep)
+		if primary == nil {
+			switch {
+			case err == nil:
+				primary, prep = r, rep
+			case remote.Retryable(err):
+				r.store(ReplicaDown)
+				lastErr = err
+			case errors.Is(err, ErrShardUnavailable):
+				r.store(ReplicaSyncing)
+				lastErr = err
+			default:
+				return err // validation failure: nothing was applied
+			}
+			continue
+		}
+		// Follower replay: any failure or version divergence demotes the
+		// follower until it re-bootstraps from the primary.
+		if err != nil || rep.Version != prep.Version {
+			if err != nil && remote.Retryable(err) {
+				r.store(ReplicaDown)
+			} else {
+				r.store(ReplicaSyncing)
+			}
+		}
+	}
+	if primary == nil {
+		if lastErr != nil {
+			return fmt.Errorf("temporalrank: append to shard %d: %w: %w", g.shard, lastErr, ErrShardUnavailable)
+		}
+		return fmt.Errorf("temporalrank: append to shard %d: %w", g.shard, ErrShardUnavailable)
+	}
+	return nil
+}
+
+// Score returns σ_id(t1,t2) as answered by the owning group (first
+// live replica, with transport failover).
+func (c *RemoteCluster) Score(id int, t1, t2 float64) (float64, error) {
+	if id < 0 || id >= len(c.shardOf) {
+		return 0, fmt.Errorf("temporalrank: %w: %d", ErrUnknownSeries, id)
+	}
+	g := c.groups[c.shardOf[id]]
+	ctx, cancel := c.callCtx()
+	defer cancel()
+	var lastErr error
+	for _, r := range g.liveReplicas() {
+		var rep rpcScoreReply
+		err := c.client.CallOnce(ctx, r.addr, "score", rpcScoreReq{Shard: g.shard, ID: id, T1: t1, T2: t2}, &rep)
+		switch {
+		case err == nil:
+			return rep.Score, nil
+		case remote.Retryable(err):
+			r.store(ReplicaDown)
+			lastErr = err
+		case errors.Is(err, ErrShardUnavailable):
+			r.store(ReplicaSyncing)
+			lastErr = err
+		default:
+			return 0, err
+		}
+	}
+	if lastErr != nil {
+		return 0, fmt.Errorf("temporalrank: score on shard %d: %w: %w", g.shard, lastErr, ErrShardUnavailable)
+	}
+	return 0, fmt.Errorf("temporalrank: score on shard %d: %w", g.shard, ErrShardUnavailable)
+}
+
+// Checkpoint asks every reachable replica to persist its hosted shard
+// back to its own data directory (atomically, temp+rename). Groups
+// checkpoint in parallel; the first failure wins.
+func (c *RemoteCluster) Checkpoint(ctx context.Context) error {
+	return scatter.Run(ctx, len(c.groups), len(c.groups), func(ctx context.Context, i int) error {
+		g := c.groups[i]
+		persisted := false
+		var lastErr error
+		for _, r := range g.replicas {
+			if r.load() != ReplicaLive {
+				continue
+			}
+			if err := c.client.Call(ctx, r.addr, "checkpoint", rpcShardReq{Shard: g.shard}, nil); err != nil {
+				lastErr = err
+				continue
+			}
+			persisted = true
+		}
+		if !persisted {
+			if lastErr != nil {
+				return fmt.Errorf("temporalrank: checkpoint shard %d: %w", g.shard, lastErr)
+			}
+			return fmt.Errorf("temporalrank: checkpoint shard %d: %w", g.shard, ErrShardUnavailable)
+		}
+		return nil
+	})
+}
+
+// callCtx builds the context for RPCs issued by methods without a
+// caller context (Append, Score).
+func (c *RemoteCluster) callCtx() (context.Context, context.CancelFunc) {
+	if c.callTO > 0 {
+		return context.WithTimeout(context.Background(), c.callTO)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// healthLoop drives periodic HealthChecks until Close.
+func (c *RemoteCluster) healthLoop(interval time.Duration) {
+	defer c.healthW.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			//tr:alloc-ok background sweep, not a query path
+			_ = c.HealthCheck(context.Background())
+		}
+	}
+}
+
+// HealthCheck probes every replica once and repairs what it can: an
+// unreachable replica is marked Down, a reachable one that lags or
+// lost its shard is re-bootstrapped from the group's most current
+// replica (streamed snapshot transfer) and goes Live again. The check
+// holds each group's append lock during its repair, so a re-bootstrapped
+// replica is exactly as current as its source. It returns an error
+// wrapping ErrShardUnavailable if any group finishes with no live
+// replica. The background loop calls this periodically; tests and
+// operators can drive it directly for deterministic recovery.
+func (c *RemoteCluster) HealthCheck(ctx context.Context) error {
+	var firstErr error
+	for _, g := range c.groups {
+		if err := c.checkGroup(ctx, g); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return firstErr
+}
+
+// checkGroup probes and repairs one group under its append lock.
+func (c *RemoteCluster) checkGroup(ctx context.Context, g *remoteGroup) error {
+	g.appendMu.Lock()
+	defer g.appendMu.Unlock()
+	type probe struct {
+		r       *remoteReplica
+		hosting bool
+		version uint64
+	}
+	probes := make([]probe, 0, len(g.replicas))
+	var best *probe
+	for _, r := range g.replicas {
+		var meta rpcMetaReply
+		if err := c.client.Call(ctx, r.addr, "meta", nil, &meta); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			r.store(ReplicaDown)
+			continue
+		}
+		p := probe{r: r}
+		if info, ok := findShardInfo(meta.Shards, g.shard); ok {
+			p.hosting, p.version = true, info.Version
+		}
+		probes = append(probes, p)
+		if p.hosting && (best == nil || p.version > best.version) {
+			best = &probes[len(probes)-1]
+		}
+	}
+	if best == nil {
+		// No reachable replica holds the shard: nothing to repair from.
+		for _, p := range probes {
+			p.r.store(ReplicaSyncing)
+		}
+		return fmt.Errorf("temporalrank: shard %d has no live replica: %w", g.shard, ErrShardUnavailable)
+	}
+	best.r.store(ReplicaLive)
+	for i := range probes {
+		p := &probes[i]
+		if p.r == best.r {
+			continue
+		}
+		if p.hosting && p.version == best.version {
+			p.r.store(ReplicaLive)
+			continue
+		}
+		// Lagging or empty: pull a fresh snapshot from the best replica.
+		// The append lock is held, so the transferred state is final.
+		var rep rpcAppendReply
+		if err := c.client.Call(ctx, p.r.addr, "restore", rpcRestoreReq{Shard: g.shard, From: best.r.addr}, &rep); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			p.r.store(ReplicaSyncing)
+			continue
+		}
+		if rep.Version == best.version {
+			p.r.store(ReplicaLive)
+		} else {
+			p.r.store(ReplicaSyncing)
+		}
+	}
+	return nil
+}
+
+// GroupHealth reports one shard group's replica states.
+type GroupHealth struct {
+	Shard    int
+	Replicas []ReplicaHealth
+}
+
+// ReplicaHealth is one replica's address and current state.
+type ReplicaHealth struct {
+	Addr  string
+	State string
+}
+
+// Health snapshots the router's view of every replica.
+func (c *RemoteCluster) Health() []GroupHealth {
+	out := make([]GroupHealth, len(c.groups))
+	for i, g := range c.groups {
+		gh := GroupHealth{Shard: g.shard, Replicas: make([]ReplicaHealth, len(g.replicas))}
+		for j, r := range g.replicas {
+			gh.Replicas[j] = ReplicaHealth{Addr: r.addr, State: r.load().String()}
+		}
+		out[i] = gh
+	}
+	return out
+}

@@ -1,0 +1,397 @@
+package temporalrank
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"sync"
+
+	"temporalrank/internal/blockio"
+	"temporalrank/internal/remote"
+	"temporalrank/internal/snapshot"
+)
+
+// This file is the server half of the distributed serving tier: a
+// ShardNode hosts one or more cluster shards — each a Planner restored
+// from its shard-NNNN.trsnap snapshot — and answers the RPCs a
+// RemoteCluster router issues: query, append, score, checkpoint, meta
+// (health/topology probe), snapshot (streamed transfer of one shard's
+// full stack), and restore (pull a shard from a peer and install it,
+// the replica bootstrap/catch-up path). cmd/shardserver is a thin main
+// around this type.
+//
+// Every query answer leaves the node with GLOBAL series IDs: the node
+// remaps its planner's local IDs through the shard manifest's
+// ascending Global list, which preserves tie order, so the router's
+// merge is plain topk.Merge — bit-identical to the in-process Cluster.
+
+// RPC request/reply DTOs. All fields exported for gob.
+
+// rpcShardInfo describes one hosted shard in a meta reply.
+type rpcShardInfo struct {
+	Shard     int
+	NumShards int
+	NumSeries int    // global object count m
+	Version   uint64 // the shard DB's append counter
+}
+
+// rpcMetaReply answers the "meta" probe: every shard the node hosts.
+type rpcMetaReply struct {
+	Shards []rpcShardInfo
+}
+
+// rpcRoutingReply answers "routing": the global-ID list of one shard,
+// from which a router derives global→shard placement.
+type rpcRoutingReply struct {
+	Global []int
+}
+
+type rpcQueryReq struct {
+	Shard int
+	Query Query
+}
+
+type rpcQueryReply struct {
+	Answer Answer
+}
+
+type rpcAppendReq struct {
+	Shard int
+	ID    int // global series ID
+	T, V  float64
+}
+
+type rpcAppendReply struct {
+	Version uint64 // shard version after the append
+}
+
+type rpcScoreReq struct {
+	Shard  int
+	ID     int // global series ID
+	T1, T2 float64
+}
+
+type rpcScoreReply struct {
+	Score float64
+}
+
+// rpcShardReq names one shard (checkpoint, routing, snapshot streams).
+type rpcShardReq struct {
+	Shard int
+}
+
+// rpcRestoreReq tells a node to (re)bootstrap one shard by pulling a
+// streamed snapshot from the peer at From.
+type rpcRestoreReq struct {
+	Shard int
+	From  string
+}
+
+// nodeShard is one hosted shard: a restored single-node stack plus the
+// manifest that carries its global routing.
+type nodeShard struct {
+	planner *Planner
+	meta    *shardManifest
+}
+
+// ShardNode hosts shard replicas and serves the distributed tier's
+// RPCs. Construct with NewShardNode, serve with Serve (usually on its
+// own goroutine), stop with Close. Safe for concurrent use: queries
+// and appends inherit the Planner locking rules; installing a restored
+// shard swaps a pointer under the node lock.
+type ShardNode struct {
+	dir    string
+	srv    *remote.Server
+	client *remote.Client
+
+	mu     sync.RWMutex
+	shards map[int]*nodeShard
+}
+
+// NewShardNode restores every shard-NNNN.trsnap under dir (creating
+// the directory if needed) and returns a node serving them. An empty
+// directory is valid: the node starts hosting nothing and acquires
+// shards through restore RPCs — the cold-replica bootstrap path.
+func NewShardNode(dir string) (*ShardNode, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("temporalrank: shard node: %w", err)
+	}
+	n := &ShardNode{
+		dir:    dir,
+		srv:    remote.NewServer(0),
+		client: remote.NewClient(remote.ClientOptions{}),
+		shards: make(map[int]*nodeShard),
+	}
+	paths, err := listShardSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, path := range paths {
+		dev, err := blockio.OpenFileDeviceAt(path, blockio.DefaultBlockSize)
+		if err != nil {
+			return nil, fmt.Errorf("temporalrank: shard node open %s: %w", path, err)
+		}
+		p, sm, perr := openSnapshotStore(dev)
+		cerr := dev.Close()
+		if perr != nil {
+			return nil, fmt.Errorf("temporalrank: shard node restore %s: %w", path, perr)
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("temporalrank: shard node restore %s: %w", path, cerr)
+		}
+		if sm == nil {
+			return nil, fmt.Errorf("temporalrank: %s is not a cluster shard snapshot: %w", path, ErrBadSnapshot)
+		}
+		if _, dup := n.shards[sm.Shard]; dup {
+			return nil, fmt.Errorf("temporalrank: duplicate snapshot for shard %d under %s: %w", sm.Shard, dir, ErrBadSnapshot)
+		}
+		n.shards[sm.Shard] = &nodeShard{planner: p, meta: sm}
+	}
+	n.register()
+	return n, nil
+}
+
+// register wires the RPC handlers.
+func (n *ShardNode) register() {
+	n.srv.Handle("meta", n.handleMeta)
+	n.srv.Handle("routing", n.handleRouting)
+	n.srv.Handle("query", n.handleQuery)
+	n.srv.Handle("append", n.handleAppend)
+	n.srv.Handle("score", n.handleScore)
+	n.srv.Handle("checkpoint", n.handleCheckpoint)
+	n.srv.Handle("restore", n.handleRestore)
+	n.srv.HandleStream("snapshot", n.handleSnapshot)
+}
+
+// Serve accepts RPC connections on ln until the node is closed. It
+// blocks; run it on its own goroutine.
+func (n *ShardNode) Serve(ln net.Listener) error { return n.srv.Serve(ln) }
+
+// Close stops serving, severs open connections, and releases the
+// node's outbound client. Hosted shards stay restorable from dir.
+func (n *ShardNode) Close() error {
+	err := n.srv.Close()
+	if cerr := n.client.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Shards returns the sorted shard numbers the node currently hosts.
+func (n *ShardNode) Shards() []int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]int, 0, len(n.shards))
+	for s := range n.shards {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// shard fetches one hosted shard; a miss reports ErrShardUnavailable
+// (the replica does not have the shard — the router fails over, or
+// triggers a restore).
+func (n *ShardNode) shard(id int) (*nodeShard, error) {
+	n.mu.RLock()
+	sh := n.shards[id]
+	n.mu.RUnlock()
+	if sh == nil {
+		return nil, fmt.Errorf("temporalrank: shard %d not hosted: %w", id, ErrShardUnavailable)
+	}
+	return sh, nil
+}
+
+func (n *ShardNode) handleMeta(ctx context.Context, body []byte) (any, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	rep := rpcMetaReply{Shards: make([]rpcShardInfo, 0, len(n.shards))}
+	for id, sh := range n.shards {
+		rep.Shards = append(rep.Shards, rpcShardInfo{
+			Shard:     id,
+			NumShards: sh.meta.NumShards,
+			NumSeries: sh.meta.NumSeries,
+			Version:   sh.planner.db.version.Load(),
+		})
+	}
+	sort.Slice(rep.Shards, func(i, j int) bool { return rep.Shards[i].Shard < rep.Shards[j].Shard })
+	return rep, nil
+}
+
+func (n *ShardNode) handleRouting(ctx context.Context, body []byte) (any, error) {
+	var req rpcShardReq
+	if err := remote.DecodeBody(body, &req); err != nil {
+		return nil, err
+	}
+	sh, err := n.shard(req.Shard)
+	if err != nil {
+		return nil, err
+	}
+	return rpcRoutingReply{Global: sh.meta.Global}, nil
+}
+
+func (n *ShardNode) handleQuery(ctx context.Context, body []byte) (any, error) {
+	var req rpcQueryReq
+	if err := remote.DecodeBody(body, &req); err != nil {
+		return nil, err
+	}
+	sh, err := n.shard(req.Shard)
+	if err != nil {
+		return nil, err
+	}
+	ans, err := sh.planner.Run(ctx, req.Query)
+	if err != nil {
+		return nil, err
+	}
+	// Remap local result IDs to global into a fresh slice — ans.Results
+	// may alias the planner's result cache and must stay untouched. The
+	// ascending Global list preserves tie order, so this list merges at
+	// the router exactly like an in-process shard's.
+	global := make([]Result, len(ans.Results))
+	for i, r := range ans.Results {
+		global[i] = Result{ID: sh.meta.Global[r.ID], Score: r.Score}
+	}
+	ans.Results = global
+	return rpcQueryReply{Answer: ans}, nil
+}
+
+// localID maps a global series ID onto the shard's local ID space.
+func (sh *nodeShard) localID(global int) (int, error) {
+	i := sort.SearchInts(sh.meta.Global, global)
+	if i >= len(sh.meta.Global) || sh.meta.Global[i] != global {
+		return 0, fmt.Errorf("temporalrank: series %d not on shard %d: %w", global, sh.meta.Shard, ErrUnknownSeries)
+	}
+	return i, nil
+}
+
+func (n *ShardNode) handleAppend(ctx context.Context, body []byte) (any, error) {
+	var req rpcAppendReq
+	if err := remote.DecodeBody(body, &req); err != nil {
+		return nil, err
+	}
+	sh, err := n.shard(req.Shard)
+	if err != nil {
+		return nil, err
+	}
+	local, err := sh.localID(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	if err := sh.planner.Append(local, req.T, req.V); err != nil {
+		return nil, err
+	}
+	return rpcAppendReply{Version: sh.planner.db.version.Load()}, nil
+}
+
+func (n *ShardNode) handleScore(ctx context.Context, body []byte) (any, error) {
+	var req rpcScoreReq
+	if err := remote.DecodeBody(body, &req); err != nil {
+		return nil, err
+	}
+	sh, err := n.shard(req.Shard)
+	if err != nil {
+		return nil, err
+	}
+	local, err := sh.localID(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	var score float64
+	if ixs := sh.planner.Indexes(); len(ixs) > 0 {
+		score, err = ixs[0].Score(local, req.T1, req.T2)
+	} else {
+		score, err = sh.planner.DB().Score(local, req.T1, req.T2)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rpcScoreReply{Score: score}, nil
+}
+
+func (n *ShardNode) handleCheckpoint(ctx context.Context, body []byte) (any, error) {
+	var req rpcShardReq
+	if err := remote.DecodeBody(body, &req); err != nil {
+		return nil, err
+	}
+	sh, err := n.shard(req.Shard)
+	if err != nil {
+		return nil, err
+	}
+	if err := commitShardSnapshotFile(n.dir, req.Shard, sh.planner, sh.meta); err != nil {
+		return nil, fmt.Errorf("temporalrank: checkpoint shard %d: %w", req.Shard, err)
+	}
+	return rpcAppendReply{Version: sh.planner.db.version.Load()}, nil
+}
+
+// handleSnapshot streams one hosted shard's full stack: a point-in-time
+// checkpoint onto a fresh in-memory device, whose raw page image is
+// written to the stream. The receiving side replays it with
+// snapshot.ReadDevicePages + the ordinary snapshot restore.
+func (n *ShardNode) handleSnapshot(ctx context.Context, body []byte, w io.Writer) error {
+	var req rpcShardReq
+	if err := remote.DecodeBody(body, &req); err != nil {
+		return err
+	}
+	sh, err := n.shard(req.Shard)
+	if err != nil {
+		return err
+	}
+	mem := blockio.NewMemDevice(blockio.DefaultBlockSize)
+	if err := sh.planner.checkpointWith(mem, sh.meta); err != nil {
+		return fmt.Errorf("temporalrank: snapshot shard %d: %w", req.Shard, err)
+	}
+	return snapshot.WriteDevicePages(w, mem)
+}
+
+// handleRestore (re)bootstraps one shard: pull the peer's streamed
+// snapshot, restore it in memory, install it over whatever this node
+// had for the shard, and persist it under dir so the next boot starts
+// caught-up. The router calls this on a lagging or empty replica while
+// holding its append lock, so the installed shard is exactly as
+// current as the peer's.
+func (n *ShardNode) handleRestore(ctx context.Context, body []byte) (any, error) {
+	var req rpcRestoreReq
+	if err := remote.DecodeBody(body, &req); err != nil {
+		return nil, err
+	}
+	rc, err := n.client.CallStream(ctx, req.From, "snapshot", rpcShardReq{Shard: req.Shard})
+	if err != nil {
+		return nil, fmt.Errorf("temporalrank: restore shard %d from %s: %w", req.Shard, req.From, err)
+	}
+	mem, rerr := snapshot.ReadDevicePages(rc)
+	cerr := rc.Close()
+	if rerr != nil {
+		return nil, fmt.Errorf("temporalrank: restore shard %d from %s: %w", req.Shard, req.From, rerr)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("temporalrank: restore shard %d from %s: %w", req.Shard, req.From, cerr)
+	}
+	p, sm, err := openSnapshotStore(mem)
+	if err != nil {
+		return nil, fmt.Errorf("temporalrank: restore shard %d from %s: %w", req.Shard, req.From, err)
+	}
+	if sm == nil || sm.Shard != req.Shard {
+		return nil, fmt.Errorf("temporalrank: peer %s streamed the wrong shard: %w", req.From, ErrBadSnapshot)
+	}
+	sh := &nodeShard{planner: p, meta: sm}
+	if err := commitShardSnapshotFile(n.dir, req.Shard, p, sm); err != nil {
+		return nil, fmt.Errorf("temporalrank: restore shard %d: persist: %w", req.Shard, err)
+	}
+	n.mu.Lock()
+	n.shards[req.Shard] = sh
+	n.mu.Unlock()
+	return rpcAppendReply{Version: p.db.version.Load()}, nil
+}
+
+// listShardSnapshots globs dir for shard snapshot files, sorted.
+func listShardSnapshots(dir string) ([]string, error) {
+	paths, err := listSnapshotFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

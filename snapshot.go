@@ -362,41 +362,109 @@ func shardSnapshotPath(dir string, shard int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%04d.trsnap", shard))
 }
 
+// listSnapshotFiles returns the shard snapshot files under dir
+// (unsorted, as globbed).
+func listSnapshotFiles(dir string) ([]string, error) {
+	return filepath.Glob(filepath.Join(dir, SnapshotFilePattern))
+}
+
+// openSnapshotDevice opens the file device backing one shard snapshot
+// file. A package variable so failure-injection tests can substitute a
+// FaultDevice-wrapping factory.
+var openSnapshotDevice = func(path string) (blockio.Device, error) {
+	return blockio.OpenFileDeviceAt(path, blockio.DefaultBlockSize)
+}
+
+// writeShardSnapshotFile checkpoints one shard stack (planner +
+// manifest) into the file at path.
+func writeShardSnapshotFile(path string, p *Planner, sm *shardManifest) error {
+	dev, err := openSnapshotDevice(path)
+	if err != nil {
+		return err
+	}
+	werr := p.checkpointWith(dev, sm)
+	cerr := dev.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// commitShardSnapshotFile writes shard's snapshot under dir atomically:
+// the stack lands in a .tmp sibling first and is renamed over the final
+// shard-NNNN.trsnap only once fully written and closed, so a crash or
+// write failure never leaves a torn file under the snapshot name. The
+// .tmp suffix keeps partial files invisible to SnapshotFilePattern.
+func commitShardSnapshotFile(dir string, shard int, p *Planner, sm *shardManifest) error {
+	final := shardSnapshotPath(dir, shard)
+	tmp := final + ".tmp"
+	if err := writeShardSnapshotFile(tmp, p, sm); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
 // Checkpoint writes every non-empty shard's stack to its own snapshot
 // file under dir (created if needed), named shard-<n>.trsnap. Shards
-// checkpoint in parallel and each file commits atomically on its own:
-// a crash mid-way can leave some shards on the new generation and some
-// on the old — each individually consistent — and the next Checkpoint
-// converges them. Appends to a shard wait for that shard's write only.
+// checkpoint in parallel, each into a .tmp sibling; only after every
+// shard has written successfully are the temp files renamed into
+// place. A failure on any shard therefore removes all temps and leaves
+// the directory's previous file set untouched — it never holds a
+// mixed-generation cluster snapshot. (The commit window that remains
+// is the rename loop itself: same-directory metadata operations, no
+// data writes.) Appends to a shard wait for that shard's write only.
 func (c *Cluster) Checkpoint(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("temporalrank: cluster checkpoint: %w", err)
 	}
-	return scatter.Run(context.Background(), len(c.shards), runtime.GOMAXPROCS(0), func(_ context.Context, i int) error {
+	tmps := make([]string, len(c.shards))
+	removeTemps := func() {
+		for _, tmp := range tmps {
+			if tmp != "" {
+				os.Remove(tmp)
+			}
+		}
+	}
+	err := scatter.Run(context.Background(), len(c.shards), runtime.GOMAXPROCS(0), func(_ context.Context, i int) error {
 		sh := c.shards[i]
 		if sh.db == nil {
 			return nil
 		}
-		dev, err := blockio.OpenFileDeviceAt(shardSnapshotPath(dir, i), blockio.DefaultBlockSize)
-		if err != nil {
-			return fmt.Errorf("temporalrank: cluster checkpoint shard %d: %w", i, err)
-		}
+		tmp := shardSnapshotPath(dir, i) + ".tmp"
 		sm := &shardManifest{
 			Shard:     i,
 			NumShards: len(c.shards),
 			NumSeries: len(c.shardOf),
 			Global:    sh.global,
 		}
-		werr := sh.planner.checkpointWith(dev, sm)
-		cerr := dev.Close()
-		if werr != nil {
-			return fmt.Errorf("temporalrank: cluster checkpoint shard %d: %w", i, werr)
+		if err := writeShardSnapshotFile(tmp, sh.planner, sm); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("temporalrank: cluster checkpoint shard %d: %w", i, err)
 		}
-		if cerr != nil {
-			return fmt.Errorf("temporalrank: cluster checkpoint shard %d: %w", i, cerr)
-		}
+		tmps[i] = tmp
 		return nil
 	})
+	if err != nil {
+		removeTemps()
+		return err
+	}
+	for i, tmp := range tmps {
+		if tmp == "" {
+			continue
+		}
+		if err := os.Rename(tmp, shardSnapshotPath(dir, i)); err != nil {
+			tmps[i] = ""
+			removeTemps()
+			return fmt.Errorf("temporalrank: cluster checkpoint shard %d: %w", i, err)
+		}
+		tmps[i] = ""
+	}
+	return nil
 }
 
 // OpenClusterSnapshot restores a cluster from the per-shard snapshot
@@ -407,7 +475,7 @@ func (c *Cluster) Checkpoint(dir string) error {
 // partitioning is already fixed in the files). Shards restore in
 // parallel. Like every restore path, no index is rebuilt.
 func OpenClusterSnapshot(dir string, opts ClusterOptions) (*Cluster, error) {
-	paths, err := filepath.Glob(filepath.Join(dir, SnapshotFilePattern))
+	paths, err := listSnapshotFiles(dir)
 	if err != nil {
 		return nil, err
 	}
