@@ -59,10 +59,15 @@ type Cluster struct {
 	localOf []int
 	// cache is the cluster-level result cache (nil when disabled): it
 	// stores merged answers, so a repeated query skips the scatter AND
-	// the k-way merge. Entries are keyed by the sum of the shard DBs'
-	// data versions, which grows with every append on any shard — stale
-	// merged answers are unreachable by construction.
+	// the k-way merge. Entries are validated against the per-shard
+	// append journals below, scoped by the query's time window — an
+	// append on any shard invalidates exactly the cached answers whose
+	// window overlaps it, and stale merged answers stay unreachable by
+	// construction.
 	cache *qcache.Cache[queryKey, Answer]
+	// journals are the non-empty shards' append journals, in shard
+	// order. Immutable after construction.
+	journals []*qcache.Journal
 }
 
 // clusterShard is one partition: an independent single-node stack. db
@@ -99,12 +104,19 @@ type ClusterOptions struct {
 	// (default GOMAXPROCS). Construction always parallelizes across
 	// GOMAXPROCS regardless.
 	Workers int
-	// ResultCache, when > 0, attaches a versioned result cache of that
-	// many entries to Run: repeated identical queries are answered from
-	// the stored merged answer, and concurrent identical queries
-	// coalesce into one scatter. Appends on any shard advance the
-	// version, so cached answers are never stale. 0 disables caching.
+	// ResultCache, when > 0, attaches a result cache of that many
+	// entries to Run: repeated identical queries are answered from the
+	// stored merged answer, and concurrent identical queries coalesce
+	// into one scatter. Appends on any shard invalidate exactly the
+	// cached answers whose query window overlaps the appended segment
+	// (scoped invalidation), so cached answers are never stale.
+	// 0 disables caching.
 	ResultCache int
+	// Memtable, when non-nil, enables the write-optimized ingest path
+	// on every shard planner (see Planner.EnableMemtable): appends
+	// become lock-light memtable inserts and background compaction
+	// rebuilds shard indexes without blocking readers.
+	Memtable *MemtableOptions
 }
 
 // NewCluster validates and assembles a sharded database from raw
@@ -210,9 +222,27 @@ func NewClusterContext(ctx context.Context, series []SeriesInput, opts ClusterOp
 		if err != nil {
 			return nil, fmt.Errorf("temporalrank: cluster shard %d: %w", i, err)
 		}
+		if opts.Memtable != nil {
+			if err := p.EnableMemtable(*opts.Memtable); err != nil {
+				return nil, fmt.Errorf("temporalrank: cluster shard %d: %w", i, err)
+			}
+		}
 		sh.planner = p
 	}
+	c.initJournals()
 	return c, nil
+}
+
+// initJournals collects the non-empty shards' append journals for
+// scoped cache validation. Called once construction (or restore) has
+// built every shard planner.
+func (c *Cluster) initJournals() {
+	c.journals = c.journals[:0]
+	for _, sh := range c.shards {
+		if sh.planner != nil {
+			c.journals = append(c.journals, sh.planner.journalRef())
+		}
+	}
 }
 
 // NewClusterFromSamples builds a sharded database from raw per-object
@@ -267,12 +297,14 @@ func (c *Cluster) NumShards() int { return len(c.shards) }
 // NumSeries returns the global object count m.
 func (c *Cluster) NumSeries() int { return len(c.shardOf) }
 
-// NumSegments returns the global segment count N.
+// NumSegments returns the global segment count N (in memtable mode,
+// of the compacted bases — segments still in a memtable are counted
+// after their compaction).
 func (c *Cluster) NumSegments() int {
 	total := 0
 	for _, sh := range c.shards {
-		if sh.db != nil {
-			total += sh.db.NumSegments()
+		if sh.planner != nil {
+			total += sh.planner.DB().NumSegments()
 		}
 	}
 	return total
@@ -282,24 +314,25 @@ func (c *Cluster) NumSegments() int {
 func (c *Cluster) Start() float64 {
 	v, set := 0.0, false
 	for _, sh := range c.shards {
-		if sh.db == nil {
+		if sh.planner == nil {
 			continue
 		}
-		if s := sh.db.Start(); !set || s < v {
+		if s := sh.planner.DB().Start(); !set || s < v {
 			v, set = s, true
 		}
 	}
 	return v
 }
 
-// End returns the right end of the global temporal domain.
+// End returns the right end of the global temporal domain (of the
+// compacted bases, in memtable mode).
 func (c *Cluster) End() float64 {
 	v, set := 0.0, false
 	for _, sh := range c.shards {
-		if sh.db == nil {
+		if sh.planner == nil {
 			continue
 		}
-		if e := sh.db.End(); !set || e > v {
+		if e := sh.planner.DB().End(); !set || e > v {
 			v, set = e, true
 		}
 	}
@@ -315,21 +348,6 @@ func (c *Cluster) Planners() []*Planner {
 		out[i] = sh.planner
 	}
 	return out
-}
-
-// version is the cluster's data version: the sum of the shard DBs'
-// append counters. Each counter is monotone and every append (through
-// Cluster.Append or directly through a shard planner) bumps exactly
-// one, so the sum strictly increases with every mutation — the property
-// the result cache keys on.
-func (c *Cluster) version() uint64 {
-	var v uint64
-	for _, sh := range c.shards {
-		if sh.db != nil {
-			v += sh.db.version.Load()
-		}
-	}
-	return v
 }
 
 // CacheStats returns the cluster result cache's counters; ok is false
@@ -360,11 +378,11 @@ func (c *Cluster) Run(ctx context.Context, q Query) (Answer, error) {
 	if c.cache == nil {
 		return c.run(ctx, q)
 	}
-	// Version is loaded before the scatter: an append landing mid-run
-	// at worst wastes the entry (stored under the pre-append version no
-	// future caller loads), never serves stale data.
-	//tr:alloc-ok miss-only closure: on the cached path Do returns before calling it
-	ans, _, err := c.cache.Do(ctx, q.cacheKey(), c.version(), func() (Answer, error) {
+	// Journal versions are snapshotted before the scatter: an append
+	// landing mid-run at worst wastes the entry (invalidated on the
+	// next lookup), never serves stale data.
+	//tr:alloc-ok miss-only closure: on the cached path DoScoped returns before calling it
+	ans, _, err := c.cache.DoScoped(ctx, q.cacheKey(), c.journals, q.scope(), func() (Answer, error) {
 		return c.run(ctx, q)
 	})
 	return ans, err
@@ -516,10 +534,7 @@ func (c *Cluster) Score(id int, t1, t2 float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if len(sh.indexes) > 0 {
-		return sh.indexes[0].Score(local, t1, t2)
-	}
-	return sh.db.Score(local, t1, t2)
+	return sh.planner.Score(local, t1, t2)
 }
 
 // route maps a global series ID to its shard and local ID.
@@ -555,14 +570,15 @@ func (c *Cluster) Stats() ClusterStats {
 		PerShard: make([]ShardStats, len(c.shards)),
 	}
 	for i, sh := range c.shards {
-		if sh.db == nil {
+		if sh.planner == nil {
 			continue
 		}
+		db := sh.planner.DB()
 		st := ShardStats{
-			Objects:  sh.db.NumSeries(),
-			Segments: sh.db.NumSegments(),
+			Objects:  db.NumSeries(),
+			Segments: db.NumSegments(),
 		}
-		for _, ix := range sh.indexes {
+		for _, ix := range sh.planner.Indexes() {
 			st.Indexes = append(st.Indexes, ix.Stats())
 		}
 		out.PerShard[i] = st

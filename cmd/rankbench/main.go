@@ -10,6 +10,7 @@
 //	rankbench -cluster-bench BENCH_cluster.json   # 1- vs 8-shard scatter-gather
 //	rankbench -serve-bench BENCH_serve.json -serve-concurrency 8
 //	rankbench -restart-bench BENCH_restart.json   # rebuild vs snapshot restore
+//	rankbench -mixed-bench BENCH_mixed.json       # reads racing a frontier writer
 //	rankbench -snapshot-write snapdir/ && rankbench -snapshot-check snapdir/
 //
 // Figures: 11 12 13 14 15 16 17 18 19 20 updates ablations all
@@ -24,6 +25,14 @@
 // cache hit ratio), plus the lock-striped buffer pool against the seed
 // single-mutex pool on a concurrent read workload. The report is the
 // BENCH_serve.json trajectory artifact.
+//
+// -mixed-bench measures the write-optimized ingest path: the same
+// zipfian read workload first alone, then racing a sustained frontier
+// writer whose appends land in the memtable delta layer and drain
+// through background compactions (read p99 must stay close to the
+// read-only p99 — readers never block on ingest), plus a scoped-vs-
+// coarse cache-invalidation A/B under a hot writer. The report is the
+// BENCH_mixed.json trajectory artifact.
 //
 // -restart-bench measures cold-start cost across dataset sizes:
 // building every index from the raw dataset versus restoring the same
@@ -64,6 +73,13 @@ func main() {
 		sdistinct = flag.Int("serve-distinct", 64, "distinct query templates for -serve-bench")
 		szipf     = flag.Float64("serve-zipf", 1.2, "zipf skew for -serve-bench query repetition (> 1)")
 		scache    = flag.Int("serve-cache", 256, "result cache entries for the cached -serve-bench run")
+		mbench    = flag.String("mixed-bench", "", "write the mixed read/write ingest benchmark (memtable delta layer + scoped invalidation) to this JSON file instead of running figures")
+		mconc     = flag.Int("mixed-concurrency", 8, "concurrent readers for -mixed-bench")
+		mqueries  = flag.Int("mixed-queries", 4000, "queries per measured phase for -mixed-bench")
+		mdistinct = flag.Int("mixed-distinct", 64, "distinct query templates for -mixed-bench")
+		mzipf     = flag.Float64("mixed-zipf", 1.2, "zipf skew for -mixed-bench query repetition (> 1)")
+		mcache    = flag.Int("mixed-cache", 32, "result cache entries for -mixed-bench (kept below -mixed-distinct so the measured tail includes the miss path)")
+		mflush    = flag.Int("mixed-flush", 4096, "memtable flush threshold in segments for -mixed-bench (0 = default)")
 		rstBench  = flag.String("restart-bench", "", "write the rebuild-vs-restore cold-start benchmark (across dataset sizes) to this JSON file instead of running figures")
 		dbench    = flag.String("dist-bench", "", "write the distributed serving benchmark (2x2 shardserver tier behind a RemoteCluster, hedged vs unhedged reads) to this JSON file instead of running figures")
 		dconc     = flag.Int("dist-concurrency", 8, "concurrent clients for -dist-bench")
@@ -103,6 +119,21 @@ func main() {
 		p.BlockSize = *blockSize
 	}
 
+	if *mbench != "" {
+		cfg := mixedBenchConfig{
+			Concurrency: *mconc,
+			Queries:     *mqueries,
+			Distinct:    *mdistinct,
+			ZipfS:       *mzipf,
+			CacheSize:   *mcache,
+			Flush:       *mflush,
+		}
+		if err := runMixedBench(*mbench, p, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "rankbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *rstBench != "" {
 		if err := runRestartBench(*rstBench, p); err != nil {
 			fmt.Fprintln(os.Stderr, "rankbench:", err)

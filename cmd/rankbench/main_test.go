@@ -34,6 +34,39 @@ func TestRunUnknownFigure(t *testing.T) {
 	}
 }
 
+func TestRunMixedBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_mixed.json")
+	cfg := mixedBenchConfig{
+		Concurrency: 2,
+		Queries:     256,
+		Distinct:    8,
+		ZipfS:       1.2,
+		CacheSize:   4,
+		Flush:       64,
+	}
+	if err := runMixedBench(path, tiny(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report mixedBenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	if report.ReadOnly.ReadOpsPerSec <= 0 || report.Mixed.ReadOpsPerSec <= 0 {
+		t.Fatalf("degenerate read measurement: %+v", report)
+	}
+	if report.Mixed.Appends <= 0 {
+		t.Fatalf("mixed phase recorded no appends: %+v", report.Mixed)
+	}
+	if report.Invalidation.ScopedHitRatio <= report.Invalidation.CoarseHitRatio {
+		t.Fatalf("scoped hit ratio %.3f not better than coarse %.3f",
+			report.Invalidation.ScopedHitRatio, report.Invalidation.CoarseHitRatio)
+	}
+}
+
 func TestRunClusterBench(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_cluster.json")
 	if err := runClusterBench(path, tiny()); err != nil {

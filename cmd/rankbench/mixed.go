@@ -1,0 +1,348 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"temporalrank"
+	"temporalrank/internal/exp"
+	"temporalrank/internal/gen"
+)
+
+// mixedBenchConfig shapes the -mixed-bench workload.
+type mixedBenchConfig struct {
+	Concurrency int     // concurrent reader clients
+	Queries     int     // total queries per measured phase
+	Distinct    int     // distinct query templates
+	ZipfS       float64 // zipf skew (> 1)
+	CacheSize   int     // result cache entries
+	Flush       int     // memtable flush threshold in segments
+}
+
+// mixedBenchPhase is one measured phase: reads only, or reads racing a
+// sustained frontier writer with background compaction.
+type mixedBenchPhase struct {
+	Name           string  `json:"name"`
+	Queries        int     `json:"queries"`
+	Concurrency    int     `json:"concurrency"`
+	ReadOpsPerSec  float64 `json:"read_ops_per_sec"`
+	P50LatencyNS   int64   `json:"p50_latency_ns"`
+	P99LatencyNS   int64   `json:"p99_latency_ns"`
+	Appends        int64   `json:"appends"`
+	WriteOpsPerSec float64 `json:"write_ops_per_sec"`
+	Compactions    uint64  `json:"compactions"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+}
+
+// mixedInvalidationResult is the scoped-vs-coarse cache A/B: the same
+// frontier-writer workload under (series, time-range)-scoped
+// invalidation and under the global version-nuke baseline.
+type mixedInvalidationResult struct {
+	Appends          int     `json:"appends"`
+	QueriesPerAppend int     `json:"queries_per_append"`
+	ScopedHitRatio   float64 `json:"scoped_hit_ratio"`
+	CoarseHitRatio   float64 `json:"coarse_hit_ratio"`
+}
+
+// mixedBenchReport is BENCH_mixed.json: the write-path trajectory
+// artifact CI uploads per commit. The two headline numbers are
+// P99Ratio (mixed-phase read p99 over read-only read p99 — readers are
+// never blocked by ingest or compaction, so it must stay small) and
+// the scoped-vs-coarse hit ratios (frontier writes must not evict
+// answers about the past).
+type mixedBenchReport struct {
+	GeneratedUnix int64                   `json:"generated_unix"`
+	GoMaxProcs    int                     `json:"gomaxprocs"`
+	NumCPU        int                     `json:"num_cpu"`
+	Objects       int                     `json:"objects"`
+	AvgSegments   int                     `json:"avg_segments"`
+	K             int                     `json:"k"`
+	Distinct      int                     `json:"distinct_queries"`
+	ZipfS         float64                 `json:"zipf_s"`
+	FlushSegments int                     `json:"flush_segments"`
+	ReadOnly      mixedBenchPhase         `json:"read_only"`
+	Mixed         mixedBenchPhase         `json:"mixed"`
+	P99Ratio      float64                 `json:"p99_read_latency_ratio"`
+	Invalidation  mixedInvalidationResult `json:"invalidation"`
+}
+
+// runMixedBench measures the write-optimized ingest path: a zipfian
+// read workload over past windows, first alone, then racing a sustained
+// frontier writer whose appends land in the memtable and drain through
+// background compactions. A final A/B reruns a hot-writer workload with
+// scoped versus coarse cache invalidation. Results land in path as
+// JSON.
+func runMixedBench(path string, p exp.Params, cfg mixedBenchConfig) error {
+	if cfg.ZipfS <= 1 {
+		return fmt.Errorf("-mixed-zipf must be > 1 (rand.NewZipf's domain), got %g", cfg.ZipfS)
+	}
+	if cfg.Distinct < 1 {
+		return fmt.Errorf("-mixed-distinct must be >= 1, got %d", cfg.Distinct)
+	}
+	if cfg.Concurrency < 1 {
+		return fmt.Errorf("-mixed-concurrency must be >= 1, got %d", cfg.Concurrency)
+	}
+	if cfg.Queries < cfg.Concurrency {
+		return fmt.Errorf("-mixed-queries (%d) must be >= -mixed-concurrency (%d)", cfg.Queries, cfg.Concurrency)
+	}
+	ds, err := gen.RandomWalk(gen.RandomWalkConfig{M: p.M, Navg: p.Navg, Seed: p.Seed, Span: 1000})
+	if err != nil {
+		return err
+	}
+	db := temporalrank.NewDBFromDataset(ds)
+	ix, err := db.BuildIndex(temporalrank.Options{
+		Method:      temporalrank.MethodExact3,
+		CacheBlocks: 1024,
+	})
+	if err != nil {
+		return err
+	}
+	planner, err := temporalrank.NewPlanner(db, ix)
+	if err != nil {
+		return err
+	}
+	planner.EnableResultCache(cfg.CacheSize)
+	if err := planner.EnableMemtable(temporalrank.MemtableOptions{FlushSegments: cfg.Flush}); err != nil {
+		return err
+	}
+
+	// Query templates confined to the historical 80% of the span: the
+	// writer appends strictly past the frontier, so scoped invalidation
+	// keeps these answers hot while a coarse policy would nuke them.
+	rng := rand.New(rand.NewSource(p.Seed))
+	span := db.Span()
+	templates := make([]temporalrank.Query, cfg.Distinct)
+	for i := range templates {
+		t1 := db.Start() + rng.Float64()*span*(0.8-p.IntervalFrac)
+		templates[i] = temporalrank.SumQuery(p.K, t1, t1+span*p.IntervalFrac)
+	}
+
+	report := mixedBenchReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Objects:       p.M,
+		AvgSegments:   p.Navg,
+		K:             p.K,
+		Distinct:      cfg.Distinct,
+		ZipfS:         cfg.ZipfS,
+		FlushSegments: cfg.Flush,
+	}
+
+	report.ReadOnly, err = measureMixedPhase(planner, templates, "read_only", cfg, false, db.End())
+	if err != nil {
+		return err
+	}
+	report.Mixed, err = measureMixedPhase(planner, templates, "mixed", cfg, true, db.End())
+	if err != nil {
+		return err
+	}
+	if report.ReadOnly.P99LatencyNS > 0 {
+		report.P99Ratio = float64(report.Mixed.P99LatencyNS) / float64(report.ReadOnly.P99LatencyNS)
+	}
+
+	report.Invalidation, err = measureInvalidationAB(db, ix, cfg)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// measureMixedPhase drives cfg.Queries zipfian reads from
+// cfg.Concurrency clients, optionally racing one frontier writer that
+// appends for the whole read window (round-robin over every series,
+// monotone timestamps past end). Cache counters are measured-phase
+// deltas, compactions are the memtable generation delta.
+func measureMixedPhase(planner *temporalrank.Planner, templates []temporalrank.Query, name string, cfg mixedBenchConfig, write bool, end float64) (mixedBenchPhase, error) {
+	warmServe(planner, templates, cfg.ZipfS)
+	var h0, m0 uint64
+	if st, ok := planner.CacheStats(); ok {
+		h0, m0 = st.Hits, st.Misses
+	}
+	var gen0 uint64
+	if st, ok := planner.MemtableStats(); ok {
+		gen0 = st.Generations
+	}
+
+	ctx := context.Background()
+	perClient := cfg.Queries / cfg.Concurrency
+	lat := make([][]time.Duration, cfg.Concurrency)
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Concurrency+1)
+
+	stop := make(chan struct{})
+	var appends atomic.Int64
+	var writerWG sync.WaitGroup
+	if write {
+		// The writer appends strictly past every series' frontier
+		// (monotone global clock starting beyond end) and paces itself
+		// in bursts so the active table grows no faster than compaction
+		// can drain it.
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			wrng := rand.New(rand.NewSource(7))
+			m := planner.DB().NumSeries()
+			t := end + 1
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t += 0.01
+				if err := planner.Append(i%m, t, wrng.NormFloat64()); err != nil {
+					errs <- fmt.Errorf("mixed bench writer: %w", err)
+					return
+				}
+				appends.Add(1)
+				// Yield between bursts (and sleep occasionally to bound
+				// the active table on many-core machines): on small
+				// GOMAXPROCS an unyielding writer would measure
+				// scheduler timeslices, not the ingest path.
+				if i%64 == 63 {
+					runtime.Gosched()
+				}
+				if i%4096 == 4095 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(templates)-1))
+			mine := make([]time.Duration, perClient)
+			for i := range mine {
+				q := templates[zipf.Uint64()]
+				t0 := time.Now()
+				if _, err := planner.Run(ctx, q); err != nil {
+					errs <- fmt.Errorf("mixed bench %s: %w", name, err)
+					return
+				}
+				mine[i] = time.Since(t0)
+				// Yield between reads so the writer and compactor get
+				// scheduled on small GOMAXPROCS. Latency is measured
+				// per read, between yields, so fairness here does not
+				// inflate the recorded tail.
+				if i%64 == 63 {
+					runtime.Gosched()
+				}
+			}
+			lat[c] = mine
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	writerWG.Wait()
+	close(errs)
+	for err := range errs {
+		return mixedBenchPhase{}, err
+	}
+
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	ph := mixedBenchPhase{
+		Name:          name,
+		Queries:       len(all),
+		Concurrency:   cfg.Concurrency,
+		ReadOpsPerSec: float64(len(all)) / elapsed.Seconds(),
+		Appends:       appends.Load(),
+	}
+	if len(all) > 0 {
+		ph.P50LatencyNS = int64(all[len(all)/2])
+		ph.P99LatencyNS = int64(all[len(all)*99/100])
+	}
+	if write {
+		ph.WriteOpsPerSec = float64(ph.Appends) / elapsed.Seconds()
+	}
+	if st, ok := planner.CacheStats(); ok {
+		if total := (st.Hits - h0) + (st.Misses - m0); total > 0 {
+			ph.CacheHitRatio = float64(st.Hits-h0) / float64(total)
+		}
+	}
+	if st, ok := planner.MemtableStats(); ok {
+		ph.Compactions = st.Generations - gen0
+	}
+	return ph, nil
+}
+
+// measureInvalidationAB replays an identical hot-writer workload — one
+// frontier append, then a sweep over past-window templates — against
+// two fresh planners over the same base: one with scoped invalidation
+// (the default), one forced to the coarse global-nuke baseline.
+func measureInvalidationAB(db *temporalrank.DB, ix *temporalrank.Index, cfg mixedBenchConfig) (mixedInvalidationResult, error) {
+	const appendsN = 200
+	span := db.Span()
+	queries := []temporalrank.Query{
+		temporalrank.SumQuery(10, db.Start(), db.Start()+span*0.5),
+		temporalrank.AvgQuery(10, db.Start()+span*0.1, db.Start()+span*0.6),
+		temporalrank.InstantQuery(10, db.Start()+span*0.3),
+	}
+	run := func(coarse bool) (float64, error) {
+		p, err := temporalrank.NewPlanner(db, ix)
+		if err != nil {
+			return 0, err
+		}
+		p.EnableResultCache(cfg.CacheSize)
+		if err := p.EnableMemtable(temporalrank.MemtableOptions{DisableAutoCompact: true}); err != nil {
+			return 0, err
+		}
+		p.SetCoarseInvalidation(coarse)
+		ctx := context.Background()
+		t := db.End()
+		for i := 0; i < appendsN; i++ {
+			t += 0.5
+			if err := p.Append(i%db.NumSeries(), t, 1); err != nil {
+				return 0, err
+			}
+			for _, q := range queries {
+				if _, err := p.Run(ctx, q); err != nil {
+					return 0, err
+				}
+			}
+		}
+		st, ok := p.CacheStats()
+		if !ok {
+			return 0, fmt.Errorf("mixed bench: cache stats unavailable")
+		}
+		return st.HitRatio(), nil
+	}
+	res := mixedInvalidationResult{Appends: appendsN, QueriesPerAppend: len(queries)}
+	var err error
+	if res.ScopedHitRatio, err = run(false); err != nil {
+		return res, err
+	}
+	if res.CoarseHitRatio, err = run(true); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -69,24 +69,25 @@ import (
 // config carries every flag so the validator can be table-tested
 // without touching the global flag set.
 type config struct {
-	addr    string
-	data    string
-	binary  bool
-	genSpec string
-	seed    int64
-	method  string
-	r       int
-	kmax    int
-	cache   int
-	workers int
-	build   int
-	shards  int
-	swork   int
-	timeout time.Duration
-	rcache  int
-	pprof   string
-	router  string
-	hedge   time.Duration
+	addr     string
+	data     string
+	binary   bool
+	genSpec  string
+	seed     int64
+	method   string
+	r        int
+	kmax     int
+	cache    int
+	workers  int
+	build    int
+	shards   int
+	swork    int
+	timeout  time.Duration
+	rcache   int
+	memtable int
+	pprof    string
+	router   string
+	hedge    time.Duration
 }
 
 func main() {
@@ -106,6 +107,7 @@ func main() {
 	flag.IntVar(&cfg.swork, "shard-workers", 0, "per-query shard fan-out bound (0 = GOMAXPROCS; lower it to trade idle latency for less oversubscription under full load)")
 	flag.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-query deadline (0 = none)")
 	flag.IntVar(&cfg.rcache, "result-cache", 0, "versioned result cache size in entries (0 = off); repeated identical queries are answered from cache and concurrent identical queries coalesce into one run")
+	flag.IntVar(&cfg.memtable, "memtable", 0, "enable the memtable ingest path on every shard, flushing after this many buffered segments (0 = off); appends become lock-light memtable inserts compacted in the background")
 	flag.StringVar(&cfg.pprof, "pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty = off (the default — profiling endpoints are never exposed on the main listener)")
 	flag.StringVar(&cfg.router, "router", "", "route queries to remote shardservers instead of hosting shards: replica addresses comma-separated, shard groups semicolon-separated, e.g. \"h1:7070,h2:7070;h3:7070,h4:7070\"")
 	flag.DurationVar(&cfg.hedge, "hedge", 0, "-router mode: delay before hedging a slow shard read to another replica (0 = library default, negative = off)")
@@ -120,7 +122,7 @@ func main() {
 	if cfg.router != "" {
 		err = runRouter(cfg)
 	} else {
-		err = run(cfg.addr, cfg.data, cfg.binary, cfg.genSpec, cfg.seed, cfg.method, cfg.r, cfg.kmax, cfg.cache, cfg.workers, cfg.build, cfg.shards, cfg.swork, cfg.rcache, cfg.pprof, cfg.timeout)
+		err = run(cfg.addr, cfg.data, cfg.binary, cfg.genSpec, cfg.seed, cfg.method, cfg.r, cfg.kmax, cfg.cache, cfg.workers, cfg.build, cfg.shards, cfg.swork, cfg.rcache, cfg.memtable, cfg.pprof, cfg.timeout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rankserver:", err)
@@ -135,6 +137,7 @@ func main() {
 var localOnlyFlags = []string{
 	"data", "binary", "gen", "seed", "method", "r", "kmax",
 	"cache", "build-workers", "shards", "shard-workers", "result-cache",
+	"memtable",
 }
 
 // routerOnlyFlags tune the remote read path and do nothing for local
@@ -250,10 +253,14 @@ func runRouter(cfg config) error {
 	return serveHTTP(cfg.addr, cfg.pprof, banner, srv, nil)
 }
 
-func run(addr, data string, binary bool, genSpec string, seed int64, methods string, r, kmax, cache, workers, build, shards, shardWorkers, resultCache int, pprofAddr string, timeout time.Duration) error {
+func run(addr, data string, binary bool, genSpec string, seed int64, methods string, r, kmax, cache, workers, build, shards, shardWorkers, resultCache, memtable int, pprofAddr string, timeout time.Duration) error {
 	snapDir, err := snapshotDir(data, genSpec)
 	if err != nil {
 		return err
+	}
+	var mtOpts *temporalrank.MemtableOptions
+	if memtable > 0 {
+		mtOpts = &temporalrank.MemtableOptions{FlushSegments: memtable}
 	}
 	var cluster *temporalrank.Cluster
 	if snapDir != "" && hasSnapshotFiles(snapDir) {
@@ -261,6 +268,7 @@ func run(addr, data string, binary bool, genSpec string, seed int64, methods str
 		cluster, err = temporalrank.OpenClusterSnapshot(snapDir, temporalrank.ClusterOptions{
 			Workers:     shardWorkers,
 			ResultCache: resultCache,
+			Memtable:    mtOpts,
 		})
 		if err != nil {
 			return fmt.Errorf("restore snapshot %s: %w", snapDir, err)
@@ -303,6 +311,7 @@ func run(addr, data string, binary bool, genSpec string, seed int64, methods str
 			Indexes:     opts,
 			Workers:     shardWorkers,
 			ResultCache: resultCache,
+			Memtable:    mtOpts,
 		})
 		if err != nil {
 			return err

@@ -38,21 +38,26 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":7070", "RPC listen address")
-		data = flag.String("data", "", "snapshot directory holding this node's shard-NNNN.trsnap files (created if missing; may start empty)")
+		addr     = flag.String("addr", ":7070", "RPC listen address")
+		data     = flag.String("data", "", "snapshot directory holding this node's shard-NNNN.trsnap files (created if missing; may start empty)")
+		memtable = flag.Int("memtable", 0, "enable the memtable ingest path on every hosted shard, flushing after this many buffered segments (0 disables)")
 	)
 	flag.Parse()
-	if err := run(*addr, *data); err != nil {
+	if err := run(*addr, *data, *memtable); err != nil {
 		fmt.Fprintln(os.Stderr, "shardserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, data string) error {
+func run(addr, data string, memtable int) error {
 	if data == "" {
 		return fmt.Errorf("-data is required (snapshot directory)")
 	}
-	node, err := temporalrank.NewShardNode(data)
+	var opts temporalrank.ShardNodeOptions
+	if memtable > 0 {
+		opts.Memtable = &temporalrank.MemtableOptions{FlushSegments: memtable}
+	}
+	node, err := temporalrank.NewShardNodeWithOptions(data, opts)
 	if err != nil {
 		return err
 	}

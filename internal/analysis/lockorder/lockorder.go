@@ -8,9 +8,19 @@
 //   - no function may hold two locks of the same class (for example
 //     two poolShard mutexes) at once.
 //
+// It also enforces declared lock ranks: a mutex struct field annotated
+//
+//	mu sync.Mutex //tr:lockrank N
+//
+// joins rank class N, and no function may acquire a ranked lock while
+// holding another ranked lock of equal or higher rank — ranks must
+// strictly increase along any acquisition chain (in this module,
+// memtable's generation-swap lock ranks below its stripe locks).
+//
 // The analyzer self-scopes: it only inspects packages that declare a
 // Device interface with the Read/Write/Alloc/Free/Close method set
-// (in this module, internal/blockio), and it skips _test.go files —
+// (in this module, internal/blockio) or at least one //tr:lockrank
+// annotation (internal/memtable), and it skips _test.go files —
 // the invariant governs engine code, not test scaffolding. "Device
 // call" means a call whose receiver's static type implements that
 // interface. Held locks are tracked per function over sync.Mutex and
@@ -25,6 +35,7 @@ package lockorder
 import (
 	"go/ast"
 	"go/types"
+	"strconv"
 	"strings"
 
 	"temporalrank/internal/analysis"
@@ -33,7 +44,7 @@ import (
 // Analyzer is the lockorder analysis.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
-	Doc:  "check blockio's shard-lock/device-call ordering rule",
+	Doc:  "check blockio's shard-lock/device-call ordering rule and //tr:lockrank acquisition order",
 	Run:  run,
 }
 
@@ -54,19 +65,22 @@ type summary struct {
 
 type checker struct {
 	pass      *analysis.Pass
-	iface     *types.Interface
+	iface     *types.Interface // nil in rank-only packages
+	ranks     map[string]int   // lock class -> declared //tr:lockrank
 	summaries map[*types.Func]*summary
 	decls     map[*types.Func]*ast.FuncDecl
 }
 
 func run(pass *analysis.Pass) (any, error) {
 	iface := deviceInterface(pass.Pkg)
-	if iface == nil {
+	ranks := collectRanks(pass)
+	if iface == nil && len(ranks) == 0 {
 		return nil, nil
 	}
 	c := &checker{
 		pass:      pass,
 		iface:     iface,
+		ranks:     ranks,
 		summaries: make(map[*types.Func]*summary),
 		decls:     make(map[*types.Func]*ast.FuncDecl),
 	}
@@ -128,9 +142,91 @@ func hasMethod(iface *types.Interface, name string) bool {
 	return false
 }
 
+// collectRanks gathers //tr:lockrank annotations from mutex struct
+// fields (non-test files), keyed by the same lock class lockClass
+// assigns to acquisitions of that field.
+func collectRanks(pass *analysis.Pass) map[string]int {
+	ranks := make(map[string]int)
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				owner := stripTypeArgs(types.TypeString(obj.Type(), nil))
+				for _, field := range st.Fields.List {
+					tv, ok := pass.TypesInfo.Types[field.Type]
+					if !ok || !isMutex(tv.Type) {
+						continue
+					}
+					rank, ok := lockrankComment(field)
+					if !ok {
+						continue
+					}
+					for _, name := range field.Names {
+						ranks[owner+"."+name.Name] = rank
+					}
+				}
+			}
+		}
+	}
+	return ranks
+}
+
+// lockrankComment parses a field's //tr:lockrank N line or doc comment.
+func lockrankComment(field *ast.Field) (int, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		for _, cm := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(cm.Text, "//"))
+			rest, ok := strings.CutPrefix(text, "tr:lockrank")
+			if !ok {
+				continue
+			}
+			rank, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil {
+				continue
+			}
+			return rank, true
+		}
+	}
+	return 0, false
+}
+
+// stripTypeArgs drops a generic type's argument list so that ranks
+// declared on a parameterized struct match acquisitions from any
+// instantiation (and from methods that rename the type parameters).
+func stripTypeArgs(s string) string {
+	if i := strings.IndexByte(s, '['); i >= 0 && strings.HasSuffix(s, "]") {
+		return s[:i]
+	}
+	return s
+}
+
 // deviceCall classifies call as a device method call. kind is "alloc"
 // or "data".
 func (c *checker) deviceCall(call *ast.CallExpr) (kind, desc string, ok bool) {
+	if c.iface == nil {
+		return "", "", false
+	}
 	sel, okSel := call.Fun.(*ast.SelectorExpr)
 	if !okSel {
 		return "", "", false
@@ -205,7 +301,7 @@ func lockClass(pass *analysis.Pass, x ast.Expr) string {
 			if p, ok := t.Underlying().(*types.Pointer); ok {
 				t = p.Elem()
 			}
-			return types.TypeString(t, nil) + "." + sel.Sel.Name
+			return stripTypeArgs(types.TypeString(t, nil)) + "." + sel.Sel.Name
 		}
 	}
 	if tv, ok := pass.TypesInfo.Types[x]; ok {
@@ -516,6 +612,12 @@ func (c *checker) checkCall(call *ast.CallExpr, st *state) {
 				c.pass.Reportf(call.Pos(),
 					"acquiring %s while %s is already held: no function may hold two %s locks at once",
 					key, heldKey, class)
+				continue
+			}
+			if rank, heldRank, ok := c.rankPair(class, heldClass); ok && heldRank >= rank {
+				c.pass.Reportf(call.Pos(),
+					"acquiring %s (rank %d) while %s (rank %d) is held: locks must be acquired in increasing //tr:lockrank order",
+					key, rank, heldKey, heldRank)
 			}
 		}
 		st.held[key] = class
@@ -552,8 +654,24 @@ func (c *checker) checkCall(call *ast.CallExpr, st *state) {
 					c.pass.Reportf(call.Pos(),
 						"call to %s, which acquires %s lock %s, while %s is already held",
 						callee.Name(), class, witness, heldKey)
+					continue
+				}
+				if rank, heldRank, ok := c.rankPair(class, heldClass); ok && heldRank >= rank {
+					c.pass.Reportf(call.Pos(),
+						"call to %s, which acquires rank-%d lock %s, while %s (rank %d) is held: locks must be acquired in increasing //tr:lockrank order",
+						callee.Name(), rank, witness, heldKey, heldRank)
 				}
 			}
 		}
 	}
+}
+
+// rankPair returns both classes' declared ranks when each has one.
+func (c *checker) rankPair(class, heldClass string) (rank, heldRank int, ok bool) {
+	rank, ok = c.ranks[class]
+	if !ok {
+		return 0, 0, false
+	}
+	heldRank, ok = c.ranks[heldClass]
+	return rank, heldRank, ok
 }

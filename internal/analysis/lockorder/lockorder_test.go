@@ -8,5 +8,5 @@ import (
 )
 
 func TestLockOrder(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "blockio", "nodevice")
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "blockio", "nodevice", "ranked")
 }

@@ -1,0 +1,75 @@
+// Package ranked declares no Device interface but carries
+// //tr:lockrank annotations, which alone must switch the analyzer on:
+// ranked locks may only be acquired in strictly increasing rank order.
+package ranked
+
+import "sync"
+
+type layer struct {
+	swapMu sync.RWMutex //tr:lockrank 1
+}
+
+type table struct {
+	mu sync.Mutex //tr:lockrank 2
+}
+
+type sidecar struct {
+	mu sync.Mutex //tr:lockrank 2
+}
+
+type unranked struct {
+	mu sync.Mutex
+}
+
+// increasingOK acquires rank 1 then rank 2: the documented order.
+func increasingOK(l *layer, t *table) {
+	l.swapMu.RLock()
+	t.mu.Lock()
+	t.mu.Unlock()
+	l.swapMu.RUnlock()
+}
+
+// invertedBad acquires rank 1 while rank 2 is held.
+func invertedBad(l *layer, t *table) {
+	t.mu.Lock()
+	l.swapMu.RLock() // want `acquiring l\.swapMu \(rank 1\) while t\.mu \(rank 2\) is held: locks must be acquired in increasing //tr:lockrank order`
+	l.swapMu.RUnlock()
+	t.mu.Unlock()
+}
+
+// equalBad acquires rank 2 while a different rank-2 class is held:
+// equal ranks are an ordering violation even across classes.
+func equalBad(t *table, s *sidecar) {
+	t.mu.Lock()
+	s.mu.Lock() // want `acquiring s\.mu \(rank 2\) while t\.mu \(rank 2\) is held: locks must be acquired in increasing //tr:lockrank order`
+	s.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// unrankedOK: locks without a rank stay outside the rank rule.
+func unrankedOK(l *layer, u *unranked) {
+	u.mu.Lock()
+	l.swapMu.RLock()
+	l.swapMu.RUnlock()
+	u.mu.Unlock()
+}
+
+func lockLayer(l *layer) {
+	l.swapMu.Lock()
+	l.swapMu.Unlock()
+}
+
+// calleeBad reaches the inverted acquisition one call deep.
+func calleeBad(l *layer, t *table) {
+	t.mu.Lock()
+	lockLayer(l) // want `call to lockLayer, which acquires rank-1 lock l\.swapMu, while t\.mu \(rank 2\) is held: locks must be acquired in increasing //tr:lockrank order`
+	t.mu.Unlock()
+}
+
+// releasedOK: the rank-2 lock is released before rank 1 is taken.
+func releasedOK(l *layer, t *table) {
+	t.mu.Lock()
+	t.mu.Unlock()
+	l.swapMu.RLock()
+	l.swapMu.RUnlock()
+}

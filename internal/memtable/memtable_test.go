@@ -1,0 +1,358 @@
+package memtable
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// flatFrontier is a FrontierFunc over n series all ending at (t0, v0).
+func flatFrontier(n int, t0, v0 float64) FrontierFunc {
+	return func(id int) (float64, float64, bool) {
+		if id < 0 || id >= n {
+			return 0, 0, false
+		}
+		return t0, v0, true
+	}
+}
+
+func TestTableAppendAndFrontier(t *testing.T) {
+	tb := NewTable(flatFrontier(4, 10, 2), 0)
+	if tb.Segments() != 0 || tb.NumSeries() != 0 {
+		t.Fatal("fresh table not empty")
+	}
+	if tb.MayContain(1) {
+		t.Fatal("empty table claims series 1")
+	}
+
+	prev, err := tb.Append(1, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev != 10 {
+		t.Fatalf("first append prevEnd %g, want the base frontier 10", prev)
+	}
+	prev, err = tb.Append(1, 14, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev != 12 {
+		t.Fatalf("second append prevEnd %g, want 12", prev)
+	}
+	if tb.Segments() != 2 || tb.NumSeries() != 1 {
+		t.Fatalf("got %d segments / %d series, want 2 / 1", tb.Segments(), tb.NumSeries())
+	}
+	if !tb.MayContain(1) {
+		t.Fatal("bloom lost series 1")
+	}
+	ts, v, ok := tb.Frontier(1)
+	if !ok || ts != 14 || v != 6 {
+		t.Fatalf("frontier (%g, %g, %v), want (14, 6, true)", ts, v, ok)
+	}
+	if _, _, ok := tb.Frontier(2); ok {
+		t.Fatal("frontier for an absent series")
+	}
+
+	// Violations: unknown series, behind-frontier time.
+	if _, err := tb.Append(99, 20, 1); err == nil {
+		t.Fatal("unknown series accepted")
+	}
+	if _, err := tb.Append(1, 13, 1); err == nil {
+		t.Fatal("behind-frontier append accepted")
+	}
+	if _, err := tb.Append(2, 9, 1); err == nil {
+		t.Fatal("first append behind the base frontier accepted")
+	}
+}
+
+func TestTableDeltaAndAt(t *testing.T) {
+	// Base frontier (10, 2); run vertices (10,2) -> (12,4) -> (14,0).
+	tb := NewTable(flatFrontier(2, 10, 2), 0)
+	mustAppend := func(id int, ts, v float64) {
+		t.Helper()
+		if _, err := tb.Append(id, ts, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAppend(0, 12, 4)
+	mustAppend(0, 14, 0)
+
+	// Full-run integral: trapezoids (2+4)/2*2 + (4+0)/2*2 = 6 + 4 = 10.
+	if d := tb.Delta(0, 10, 14); math.Abs(d-10) > 1e-12 {
+		t.Fatalf("full delta %g, want 10", d)
+	}
+	// Clipped to [11, 13]: value at 11 is 3, at 12 is 4, at 13 is 2 →
+	// (3+4)/2 + (4+2)/2 = 3.5 + 3 = 6.5.
+	if d := tb.Delta(0, 11, 13); math.Abs(d-6.5) > 1e-12 {
+		t.Fatalf("clipped delta %g, want 6.5", d)
+	}
+	// Outside the run and absent series contribute nothing.
+	if d := tb.Delta(0, 20, 30); d != 0 {
+		t.Fatalf("beyond-run delta %g, want 0", d)
+	}
+	if d := tb.Delta(1, 10, 14); d != 0 {
+		t.Fatalf("absent-series delta %g, want 0", d)
+	}
+
+	// At: domain is (start, end] — the frontier instant belongs to the
+	// base, the end instant to the run.
+	if _, ok := tb.At(0, 10); ok {
+		t.Fatal("At(10) covered: the frontier vertex belongs to the base")
+	}
+	if v, ok := tb.At(0, 12); !ok || v != 4 {
+		t.Fatalf("At(12) = (%g, %v), want (4, true)", v, ok)
+	}
+	if v, ok := tb.At(0, 14); !ok || v != 0 {
+		t.Fatalf("At(14) = (%g, %v), want (0, true)", v, ok)
+	}
+	if v, ok := tb.At(0, 13); !ok || math.Abs(v-2) > 1e-12 {
+		t.Fatalf("At(13) = (%g, %v), want (2, true)", v, ok)
+	}
+	if _, ok := tb.At(0, 15); ok {
+		t.Fatal("At beyond the run covered")
+	}
+}
+
+func TestTableCollect(t *testing.T) {
+	tb := NewTable(flatFrontier(8, 0, 0), 2)
+	for id := 0; id < 4; id++ {
+		if _, err := tb.Append(id, float64(10+id), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[int]float64{}
+	tb.CollectRange(0, 20, func(id int, d float64) { got[id] = d })
+	if len(got) != 4 {
+		t.Fatalf("CollectRange found %d series, want 4", len(got))
+	}
+	// Run for id covers (0, 10+id] with values 0→1: mass (10+id)/2.
+	for id, d := range got {
+		want := float64(10+id) / 2
+		if math.Abs(d-want) > 1e-12 {
+			t.Fatalf("series %d delta %g, want %g", id, d, want)
+		}
+	}
+	// A window before every run's mass (all runs start at 0, exclusive).
+	none := 0
+	tb.CollectRange(-5, 0, func(int, float64) { none++ })
+	if none != 0 {
+		t.Fatalf("window ending at the shared frontier matched %d runs", none)
+	}
+	ids := []int{}
+	tb.CollectAt(10, func(id int, v float64) { ids = append(ids, id) })
+	sort.Ints(ids)
+	if len(ids) != 4 {
+		t.Fatalf("CollectAt(10) matched %v, want all 4 runs", ids)
+	}
+}
+
+func TestTableAllSnapshots(t *testing.T) {
+	tb := NewTable(flatFrontier(8, 5, 1), 0)
+	want := map[int][][2]float64{}
+	for id := 0; id < 5; id++ {
+		for j := 0; j < 3; j++ {
+			ts := 5 + float64(j+1)
+			v := float64(id*10 + j)
+			if _, err := tb.Append(id, ts, v); err != nil {
+				t.Fatal(err)
+			}
+			want[id] = append(want[id], [2]float64{ts, v})
+		}
+	}
+	seen := map[int]bool{}
+	tb.All(func(id int, times, values []float64) {
+		if seen[id] {
+			t.Fatalf("series %d streamed twice", id)
+		}
+		seen[id] = true
+		w := want[id]
+		if len(times) != len(w) || len(values) != len(w) {
+			t.Fatalf("series %d: %d vertices, want %d", id, len(times), len(w))
+		}
+		for j := range w {
+			if times[j] != w[j][0] || values[j] != w[j][1] {
+				t.Fatalf("series %d vertex %d: (%g, %g), want (%g, %g)",
+					id, j, times[j], values[j], w[j][0], w[j][1])
+			}
+		}
+	})
+	if len(seen) != 5 {
+		t.Fatalf("All streamed %d series, want 5", len(seen))
+	}
+}
+
+func TestTableConcurrentAppend(t *testing.T) {
+	const (
+		series  = 64
+		writers = 8
+		perID   = 50
+	)
+	tb := NewTable(flatFrontier(series, 0, 0), 0)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each writer owns a disjoint slice of series, so appends per
+			// series are ordered and must all succeed.
+			for i := 0; i < perID; i++ {
+				for id := w; id < series; id += writers {
+					if _, err := tb.Append(id, float64(i+1), float64(i)); err != nil {
+						t.Errorf("writer %d series %d: %v", w, id, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tb.Segments(); got != series*perID {
+		t.Fatalf("%d segments, want %d", got, series*perID)
+	}
+	if got := tb.NumSeries(); got != series {
+		t.Fatalf("%d series, want %d", got, series)
+	}
+	for id := 0; id < series; id++ {
+		if ts, _, ok := tb.Frontier(id); !ok || ts != perID {
+			t.Fatalf("series %d frontier (%g, %v), want (%d, true)", id, ts, ok, perID)
+		}
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	var b bloom
+	b.init()
+	rng := rand.New(rand.NewSource(7))
+	added := map[uint64]bool{}
+	for i := 0; i < 500; i++ {
+		k := rng.Uint64() % 10000
+		b.add(k)
+		added[k] = true
+	}
+	for k := range added {
+		if !b.mayContain(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+	// False-positive sanity: with 500 keys in 8192 bits / 2 probes the
+	// rate should stay well under 50% — this guards against a broken
+	// hash collapsing everything onto one word.
+	fp := 0
+	for k := uint64(20000); k < 21000; k++ {
+		if b.mayContain(k) {
+			fp++
+		}
+	}
+	if fp > 500 {
+		t.Fatalf("%d/1000 false positives — filter degenerate", fp)
+	}
+}
+
+func TestLayerGenerations(t *testing.T) {
+	type base struct{ gen int }
+	active := NewTable(flatFrontier(4, 0, 0), 0)
+	l := NewLayer(&Gen[base]{Base: base{gen: 0}, Active: active})
+
+	if _, err := l.Append(1, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	g := l.Load()
+	if g.Active != active || g.Frozen != nil || g.Base.gen != 0 {
+		t.Fatal("load returned a different generation")
+	}
+
+	// Freeze: active becomes frozen, a fresh table takes writes.
+	fresh := NewTable(flatFrontier(4, 0, 0), 0)
+	g2 := l.Update(func(old *Gen[base]) *Gen[base] {
+		return &Gen[base]{Base: old.Base, Frozen: old.Active, Active: fresh}
+	})
+	if g2.Frozen != active || g2.Active != fresh {
+		t.Fatal("freeze transition wrong")
+	}
+	if g.Frozen != nil {
+		t.Fatal("previously pinned generation mutated")
+	}
+	// Install: frozen drains into a new base.
+	g3 := l.Update(func(old *Gen[base]) *Gen[base] {
+		return &Gen[base]{Base: base{gen: 1}, Active: old.Active}
+	})
+	if g3.Frozen != nil || g3.Base.gen != 1 || g3.Active != fresh {
+		t.Fatal("install transition wrong")
+	}
+	// Declining a transition returns the argument unchanged.
+	g4 := l.Update(func(old *Gen[base]) *Gen[base] { return old })
+	if g4 != g3 {
+		t.Fatal("declined transition replaced the generation")
+	}
+}
+
+// TestLayerAppendSwapRace freezes generations while writers append;
+// every append must land in exactly one table (none lost, none
+// duplicated). Run with -race.
+func TestLayerAppendSwapRace(t *testing.T) {
+	const series = 16
+	// A fixed base frontier at t=0 keeps every run valid no matter when
+	// a swap resets it: per-series append times only ever grow, so a
+	// fresh table's seed vertex (0, 0) always precedes the next append.
+	frontier := flatFrontier(series, 0, 0)
+	l := NewLayer(&Gen[int]{Active: NewTable(frontier, 0)})
+
+	var writers sync.WaitGroup
+	var appended atomic.Int64
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			// Writer w owns series w*4..w*4+3; each id's times strictly
+			// increase across iterations.
+			for i := 0; i < 200; i++ {
+				id := w*4 + i%4
+				ts := float64(i/4 + 1)
+				if _, err := l.Append(id, ts, 1); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				appended.Add(1)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	var drained int64 // owned by the swapper goroutine; read after Wait
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g := l.Update(func(old *Gen[int]) *Gen[int] {
+				if old.Active.Segments() == 0 {
+					return old
+				}
+				return &Gen[int]{Frozen: old.Active, Active: NewTable(frontier, 0)}
+			})
+			if g.Frozen != nil {
+				drained += g.Frozen.Segments()
+				l.Update(func(old *Gen[int]) *Gen[int] {
+					return &Gen[int]{Active: old.Active}
+				})
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	swapper.Wait()
+	drained += l.Load().Active.Segments()
+	if g := l.Load(); g.Frozen != nil {
+		drained += g.Frozen.Segments()
+	}
+	if drained != appended.Load() {
+		t.Fatalf("drained %d segments, appended %d", drained, appended.Load())
+	}
+}

@@ -42,11 +42,16 @@ type Cache[K comparable, V any] struct {
 	coalesced atomic.Uint64
 }
 
-// entry is one cached value, valid only at its recorded version.
+// entry is one cached value. Entries stored by Do are valid only at
+// their recorded version; entries stored by DoScoped (versions != nil)
+// are valid while no journal event past their recorded versions
+// overlaps their scope.
 type entry[K comparable, V any] struct {
-	key     K
-	version uint64
-	val     V
+	key      K
+	version  uint64
+	versions []uint64
+	scope    Scope
+	val      V
 }
 
 // flightKey identifies one in-flight computation. The version is part
@@ -133,7 +138,7 @@ func (c *Cache[K, V]) Do(ctx context.Context, key K, version uint64, fn func() (
 		c.mu.Lock()
 		if el, ok := c.entries[key]; ok {
 			e := el.Value.(*entry[K, V])
-			if e.version == version {
+			if e.versions == nil && e.version == version {
 				c.lru.MoveToFront(el)
 				c.mu.Unlock()
 				c.hits.Add(1)
@@ -208,6 +213,7 @@ func (c *Cache[K, V]) storeLocked(key K, version uint64, val V) {
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*entry[K, V])
 		e.version = version
+		e.versions = nil
 		e.val = val
 		c.lru.MoveToFront(el)
 		return

@@ -289,7 +289,9 @@ func (c *Client) armConn(ctx context.Context, cc *clientConn) (int64, func()) {
 		}
 	}
 	done := make(chan struct{})
+	exited := make(chan struct{})
 	go func() {
+		defer close(exited)
 		select {
 		case <-ctx.Done():
 			// Force in-flight reads/writes to fail now.
@@ -301,6 +303,12 @@ func (c *Client) armConn(ctx context.Context, cc *clientConn) (int64, func()) {
 	return wire, func() {
 		once.Do(func() {
 			close(done)
+			// Wait the watcher out: one that already committed to the
+			// ctx.Done branch would otherwise stamp its forced deadline
+			// AFTER the clear below — poisoning the conn while it sits
+			// idle in the pool, so the next call on it fails instantly
+			// with a timeout that Retryable() treats as a dead peer.
+			<-exited
 			_ = cc.nc.SetDeadline(time.Time{})
 		})
 	}

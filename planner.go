@@ -23,12 +23,24 @@ import (
 //	ans, _ := p.Run(ctx, temporalrank.Query{K: 10, T1: 50, T2: 120, MaxEpsilon: 0.05})
 //
 // Planner is safe for concurrent use; AddIndex may race with Run.
+//
+// EnableMemtable (see ingest.go) switches the planner to
+// write-optimized ingest: appends land in an in-memory delta layer and
+// queries merge the delta with the immutable base stack, which
+// background compaction replaces wholesale — so db/indexes below are
+// then the *initial* generation and reads route through the layer's
+// current one.
 type Planner struct {
 	db *DB
 
 	mu      sync.RWMutex
 	indexes []*Index
 	cache   *qcache.Cache[queryKey, Answer]
+	ingest  *ingestState
+	// journals are what Run validates cache entries against; replaced
+	// wholesale (never mutated) so Run can hand the slice to the cache
+	// outside the lock.
+	journals []*qcache.Journal
 }
 
 // CacheStats summarizes a result cache's effectiveness: Hits were
@@ -86,7 +98,7 @@ func NewPlanner(db *DB, indexes ...*Index) (*Planner, error) {
 	if db == nil {
 		return nil, fmt.Errorf("temporalrank: planner needs a DB: %w", ErrBadConfig)
 	}
-	p := &Planner{db: db}
+	p := &Planner{db: db, journals: []*qcache.Journal{db.journal}}
 	for _, ix := range indexes {
 		if err := p.AddIndex(ix); err != nil {
 			return nil, err
@@ -105,21 +117,37 @@ func (p *Planner) AddIndex(ix *Index) error {
 		return fmt.Errorf("temporalrank: planner: index %s built over a different DB: %w", ix.Method(), ErrBadConfig)
 	}
 	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ingest != nil {
+		return fmt.Errorf("temporalrank: planner: AddIndex after EnableMemtable: %w", ErrBadConfig)
+	}
 	p.indexes = append(p.indexes, ix)
-	p.mu.Unlock()
 	return nil
 }
 
-// DB returns the planner's database (the exact fallback path).
-func (p *Planner) DB() *DB { return p.db }
+// DB returns the planner's database (the exact fallback path). In
+// memtable mode this is the current generation's compacted database —
+// it reflects drained appends and is replaced by each compaction.
+func (p *Planner) DB() *DB { return p.stack().db }
 
-// Indexes returns a snapshot of the registered indexes.
+// Indexes returns a snapshot of the registered indexes (in memtable
+// mode, the current generation's).
 func (p *Planner) Indexes() []*Index {
+	st := p.stack()
+	out := make([]*Index, len(st.indexes))
+	copy(out, st.indexes)
+	return out
+}
+
+// stack returns the read stack queries route over: the planner's own
+// db/indexes, or the current generation's in memtable mode.
+func (p *Planner) stack() baseStack {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	out := make([]*Index, len(p.indexes))
-	copy(out, p.indexes)
-	return out
+	if p.ingest != nil {
+		return p.ingest.layer.Load().Base
+	}
+	return baseStack{db: p.db, indexes: p.indexes}
 }
 
 // Append extends object id with a new segment ending at (t, v) across
@@ -142,6 +170,9 @@ func (p *Planner) Append(id int, t, v float64) error {
 	// the segment — exactly the staleness this method exists to prevent.
 	p.mu.RLock()
 	defer p.mu.RUnlock()
+	if ing := p.ingest; ing != nil {
+		return p.appendMemtable(ing, id, t, v)
+	}
 	ixs := p.indexes
 	if len(ixs) == 0 {
 		return p.db.Append(id, t, v)
@@ -180,38 +211,42 @@ func (p *Planner) Append(id int, t, v float64) error {
 //     KMax) the brute-force DB answers exactly.
 func (p *Planner) Plan(q Query) Querier {
 	q = q.withDefaults()
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	return planStack(p.stack(), q)
+}
 
+// planStack is Plan over an explicit read stack — the routing shared
+// by the default mode (planner's own db/indexes) and memtable mode
+// (a pinned generation's base).
+func planStack(st baseStack, q Query) Querier {
 	if q.Agg == AggInstant {
-		for _, ix := range p.indexes {
+		for _, ix := range st.indexes {
 			if ix.Method() == MethodExact3 {
 				return ix
 			}
 		}
-		return p.db
+		return st.db
 	}
 
 	if q.MaxEpsilon > 0 {
-		if ix := p.cheapest(q, true); ix != nil {
+		if ix := cheapestIn(st, q, true); ix != nil {
 			return ix
 		}
 	}
-	if ix := p.cheapest(q, false); ix != nil {
+	if ix := cheapestIn(st, q, false); ix != nil {
 		return ix
 	}
-	return p.db
+	return st.db
 }
 
-// cheapest returns the lowest-cost qualifying index of one class
-// (approximate or exact), or nil. Callers hold p.mu.
-func (p *Planner) cheapest(q Query, wantApprox bool) *Index {
+// cheapestIn returns the lowest-cost qualifying index of one class
+// (approximate or exact) in the stack, or nil.
+func cheapestIn(st baseStack, q Query, wantApprox bool) *Index {
 	var (
 		best         *Index
 		bestCost     float64
 		bestInBudget bool
 	)
-	for _, ix := range p.indexes {
+	for _, ix := range st.indexes {
 		if ix.Method().IsApprox() != wantApprox {
 			continue
 		}
@@ -223,7 +258,7 @@ func (p *Planner) cheapest(q Query, wantApprox bool) *Index {
 				continue
 			}
 		}
-		cost := p.EstimateIOs(ix, q)
+		cost := estimateIOs(st.db, ix, q)
 		inBudget := q.MaxIOs == 0 || cost <= float64(q.MaxIOs)
 		switch {
 		case best == nil,
@@ -238,11 +273,14 @@ func (p *Planner) cheapest(q Query, wantApprox bool) *Index {
 // Run implements Querier: validate, consult the result cache (when one
 // is attached), route, execute.
 //
-// The cache lookup loads the DB's data version before planning, so an
-// Append that completes after the load at worst wastes one entry (the
-// fresh answer stored under the old version); it can never cause a
-// stale answer, because post-append callers observe the bumped version
-// and miss.
+// Cache entries are validated against the planner's append journal
+// with the query's (series, time-range) scope: an entry is served
+// while no append recorded since it was stored overlaps the query
+// window, so a writer appending at the frontier no longer evicts
+// answers about the past. The journal versions are snapshotted before
+// the query executes, so an append landing mid-run at worst wastes the
+// stored entry (invalidated on the next lookup); it can never cause a
+// stale answer.
 //
 //tr:hotpath
 func (p *Planner) Run(ctx context.Context, q Query) (Answer, error) {
@@ -251,14 +289,14 @@ func (p *Planner) Run(ctx context.Context, q Query) (Answer, error) {
 		return Answer{}, err
 	}
 	p.mu.RLock()
-	cache := p.cache
+	cache, ing, js := p.cache, p.ingest, p.journals
 	p.mu.RUnlock()
 	if cache == nil {
-		return p.Plan(q).Run(ctx, q)
+		return p.execute(ctx, q, ing)
 	}
-	//tr:alloc-ok miss-only closure: on the cached path Do returns before calling it
-	ans, _, err := cache.Do(ctx, q.cacheKey(), p.db.version.Load(), func() (Answer, error) {
-		return p.Plan(q).Run(ctx, q)
+	//tr:alloc-ok miss-only closure: on the cached path DoScoped returns before calling it
+	ans, _, err := cache.DoScoped(ctx, q.cacheKey(), js, q.scope(), func() (Answer, error) {
+		return p.execute(ctx, q, ing)
 	})
 	return ans, err
 }
@@ -275,9 +313,16 @@ func (p *Planner) Run(ctx context.Context, q Query) (Answer, error) {
 //	APPX2    k·log r·log_B k    (dyadic merge)
 //	APPX2+   APPX2 + k·log r·log_B n̄ (exact rescoring lookups)
 func (p *Planner) EstimateIOs(ix *Index, q Query) float64 {
+	return estimateIOs(ix.db, ix, q)
+}
+
+// estimateIOs is EstimateIOs against an explicit DB (the one the index
+// was built over — in memtable mode each generation's indexes pair
+// with that generation's db).
+func estimateIOs(db *DB, ix *Index, q Query) float64 {
 	var (
-		n = float64(p.db.NumSegments())
-		m = float64(p.db.NumSeries())
+		n = float64(db.NumSegments())
+		m = float64(db.NumSeries())
 		k = float64(q.K)
 	)
 	// Entries are a few dozen bytes across all structures; B is the

@@ -7,6 +7,7 @@ import (
 	"math"
 	"time"
 
+	"temporalrank/internal/qcache"
 	"temporalrank/internal/topk"
 )
 
@@ -120,6 +121,19 @@ func (q Query) cacheKey() queryKey {
 	binary.LittleEndian.PutUint64(b[25:], math.Float64bits(q.MaxEpsilon))
 	binary.LittleEndian.PutUint64(b[33:], q.MaxIOs)
 	return b
+}
+
+// scope returns the query's invalidation footprint for scoped result
+// caching: all series over the query window (an instant query stabs a
+// single point). An append overlapping this footprint can change the
+// answer; one outside it cannot.
+//
+//tr:hotpath
+func (q Query) scope() qcache.Scope {
+	if q.Agg == AggInstant {
+		return qcache.Scope{Series: -1, T1: q.T1, T2: q.T1}
+	}
+	return qcache.Scope{Series: -1, T1: q.T1, T2: q.T2}
 }
 
 // Validate checks the query's shape. Interval problems wrap

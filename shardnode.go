@@ -104,6 +104,7 @@ type nodeShard struct {
 // shard swaps a pointer under the node lock.
 type ShardNode struct {
 	dir    string
+	opts   ShardNodeOptions
 	srv    *remote.Server
 	client *remote.Client
 
@@ -111,16 +112,32 @@ type ShardNode struct {
 	shards map[int]*nodeShard
 }
 
+// ShardNodeOptions are a node's runtime knobs — applied to every shard
+// the node hosts, whether restored at boot or installed later through
+// a restore RPC.
+type ShardNodeOptions struct {
+	// Memtable, when non-nil, enables the write-optimized ingest path on
+	// each hosted shard's planner: replicated appends land in that
+	// shard's memtable delta layer instead of rebuilding indexes inline.
+	Memtable *MemtableOptions
+}
+
 // NewShardNode restores every shard-NNNN.trsnap under dir (creating
 // the directory if needed) and returns a node serving them. An empty
 // directory is valid: the node starts hosting nothing and acquires
 // shards through restore RPCs — the cold-replica bootstrap path.
 func NewShardNode(dir string) (*ShardNode, error) {
+	return NewShardNodeWithOptions(dir, ShardNodeOptions{})
+}
+
+// NewShardNodeWithOptions is NewShardNode with runtime knobs.
+func NewShardNodeWithOptions(dir string, opts ShardNodeOptions) (*ShardNode, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("temporalrank: shard node: %w", err)
 	}
 	n := &ShardNode{
 		dir:    dir,
+		opts:   opts,
 		srv:    remote.NewServer(0),
 		client: remote.NewClient(remote.ClientOptions{}),
 		shards: make(map[int]*nodeShard),
@@ -147,6 +164,11 @@ func NewShardNode(dir string) (*ShardNode, error) {
 		}
 		if _, dup := n.shards[sm.Shard]; dup {
 			return nil, fmt.Errorf("temporalrank: duplicate snapshot for shard %d under %s: %w", sm.Shard, dir, ErrBadSnapshot)
+		}
+		if opts.Memtable != nil {
+			if err := p.EnableMemtable(*opts.Memtable); err != nil {
+				return nil, fmt.Errorf("temporalrank: shard node %s: %w", path, err)
+			}
 		}
 		n.shards[sm.Shard] = &nodeShard{planner: p, meta: sm}
 	}
@@ -214,7 +236,7 @@ func (n *ShardNode) handleMeta(ctx context.Context, body []byte) (any, error) {
 			Shard:     id,
 			NumShards: sh.meta.NumShards,
 			NumSeries: sh.meta.NumSeries,
-			Version:   sh.planner.db.version.Load(),
+			Version:   sh.planner.DataVersion(),
 		})
 	}
 	sort.Slice(rep.Shards, func(i, j int) bool { return rep.Shards[i].Shard < rep.Shards[j].Shard })
@@ -283,7 +305,7 @@ func (n *ShardNode) handleAppend(ctx context.Context, body []byte) (any, error) 
 	if err := sh.planner.Append(local, req.T, req.V); err != nil {
 		return nil, err
 	}
-	return rpcAppendReply{Version: sh.planner.db.version.Load()}, nil
+	return rpcAppendReply{Version: sh.planner.DataVersion()}, nil
 }
 
 func (n *ShardNode) handleScore(ctx context.Context, body []byte) (any, error) {
@@ -299,12 +321,7 @@ func (n *ShardNode) handleScore(ctx context.Context, body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	var score float64
-	if ixs := sh.planner.Indexes(); len(ixs) > 0 {
-		score, err = ixs[0].Score(local, req.T1, req.T2)
-	} else {
-		score, err = sh.planner.DB().Score(local, req.T1, req.T2)
-	}
+	score, err := sh.planner.Score(local, req.T1, req.T2)
 	if err != nil {
 		return nil, err
 	}
@@ -323,7 +340,7 @@ func (n *ShardNode) handleCheckpoint(ctx context.Context, body []byte) (any, err
 	if err := commitShardSnapshotFile(n.dir, req.Shard, sh.planner, sh.meta); err != nil {
 		return nil, fmt.Errorf("temporalrank: checkpoint shard %d: %w", req.Shard, err)
 	}
-	return rpcAppendReply{Version: sh.planner.db.version.Load()}, nil
+	return rpcAppendReply{Version: sh.planner.DataVersion()}, nil
 }
 
 // handleSnapshot streams one hosted shard's full stack: a point-in-time
@@ -376,6 +393,11 @@ func (n *ShardNode) handleRestore(ctx context.Context, body []byte) (any, error)
 	if sm == nil || sm.Shard != req.Shard {
 		return nil, fmt.Errorf("temporalrank: peer %s streamed the wrong shard: %w", req.From, ErrBadSnapshot)
 	}
+	if n.opts.Memtable != nil {
+		if err := p.EnableMemtable(*n.opts.Memtable); err != nil {
+			return nil, fmt.Errorf("temporalrank: restore shard %d: %w", req.Shard, err)
+		}
+	}
 	sh := &nodeShard{planner: p, meta: sm}
 	if err := commitShardSnapshotFile(n.dir, req.Shard, p, sm); err != nil {
 		return nil, fmt.Errorf("temporalrank: restore shard %d: persist: %w", req.Shard, err)
@@ -383,7 +405,7 @@ func (n *ShardNode) handleRestore(ctx context.Context, body []byte) (any, error)
 	n.mu.Lock()
 	n.shards[req.Shard] = sh
 	n.mu.Unlock()
-	return rpcAppendReply{Version: p.db.version.Load()}, nil
+	return rpcAppendReply{Version: p.DataVersion()}, nil
 }
 
 // listShardSnapshots globs dir for shard snapshot files, sorted.

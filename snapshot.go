@@ -109,14 +109,29 @@ func (p *Planner) Checkpoint(dev blockio.Device) error {
 // checkpointWith is Checkpoint with an optional cluster shard manifest
 // riding along. Lock ordering: planner mu, then every index mu in
 // registration order, then db.mu — the same order Planner.Append uses.
+//
+// With a memtable enabled the delta layer is drained first (one
+// synchronous compaction), so every append acknowledged before this
+// call is part of the checkpointed base. Appends landing during or
+// after the drain go to the next generation's memtable and are simply
+// not in this snapshot — the usual checkpoint semantics.
 func (p *Planner) checkpointWith(dev blockio.Device, shard *shardManifest) error {
 	p.mu.RLock()
-	defer p.mu.RUnlock()
+	ing := p.ingest
 	entries := 0
 	if p.cache != nil {
 		entries = p.cache.Cap()
 	}
-	return checkpointIndexes(dev, p.db, p.indexes, entries, shard)
+	if ing == nil {
+		defer p.mu.RUnlock()
+		return checkpointIndexes(dev, p.db, p.indexes, entries, shard)
+	}
+	p.mu.RUnlock()
+	if err := p.Compact(context.Background()); err != nil {
+		return err
+	}
+	base := ing.layer.Load().Base
+	return checkpointIndexes(dev, base.db, base.indexes, entries, shard)
 }
 
 // checkpointIndexes locks the index set (in slice order) and the DB
@@ -350,7 +365,15 @@ func restoreIndex(db *DB, st *indexState, pages io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("temporalrank: index meta says %s but state restores %s: %w",
 			st.Method, m.Name(), ErrBadSnapshot)
 	}
-	return &Index{m: m, db: db}, nil
+	// Reconstruct the build configuration so memtable compaction can
+	// rebuild an equivalent index later. Epsilon (rather than TargetR)
+	// pins approximate methods to the restored error guarantee exactly.
+	opts := Options{Method: Method(st.Method), BlockSize: st.BlockSize, CacheBlocks: st.CacheBlocks}
+	if a, ok := m.(approx.Index); ok {
+		opts.KMax = a.KMax()
+		opts.Epsilon = a.Epsilon()
+	}
+	return &Index{m: m, db: db, opts: opts}, nil
 }
 
 // SnapshotFilePattern matches the per-shard snapshot files a cluster
@@ -471,9 +494,9 @@ func (c *Cluster) Checkpoint(dir string) error {
 // files Cluster.Checkpoint wrote under dir. The shard count, the
 // series-to-shard routing, and every shard's DB, indexes, and planner
 // come from the snapshots; only the runtime knobs of opts are applied
-// (Workers, ResultCache, Partitioner — the rest is ignored, since the
-// partitioning is already fixed in the files). Shards restore in
-// parallel. Like every restore path, no index is rebuilt.
+// (Workers, ResultCache, Partitioner, Memtable — the rest is ignored,
+// since the partitioning is already fixed in the files). Shards
+// restore in parallel. Like every restore path, no index is rebuilt.
 func OpenClusterSnapshot(dir string, opts ClusterOptions) (*Cluster, error) {
 	paths, err := listSnapshotFiles(dir)
 	if err != nil {
@@ -571,9 +594,17 @@ func OpenClusterSnapshot(dir string, opts ClusterOptions) (*Cluster, error) {
 			return nil, fmt.Errorf("temporalrank: no shard snapshot holds series %d: %w", g, ErrBadSnapshot)
 		}
 	}
+	if opts.Memtable != nil {
+		for _, sh := range c.shards {
+			if err := sh.planner.EnableMemtable(*opts.Memtable); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if opts.ResultCache > 0 {
 		c.cache = qcache.New[queryKey, Answer](opts.ResultCache)
 	}
+	c.initJournals()
 	return c, nil
 }
 

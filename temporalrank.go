@@ -39,6 +39,7 @@ import (
 	"temporalrank/internal/breakpoint"
 	"temporalrank/internal/core"
 	"temporalrank/internal/exact"
+	"temporalrank/internal/qcache"
 	"temporalrank/internal/topk"
 	"temporalrank/internal/tsdata"
 )
@@ -108,6 +109,11 @@ type DB struct {
 	// pre-append answer to a post-append reader, regardless of which
 	// entry point performed the append.
 	version atomic.Uint64
+	// journal records each append as a (series, time-range) scoped
+	// event, also from appendLocked; result caches validate entries
+	// against it so only answers whose window overlaps an append are
+	// invalidated.
+	journal *qcache.Journal
 }
 
 // NewDB validates and assembles a database from raw series.
@@ -127,12 +133,14 @@ func NewDB(series []SeriesInput) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{ds: ds}, nil
+	return &DB{ds: ds, journal: qcache.NewJournal(0)}, nil
 }
 
 // NewDBFromDataset wraps an existing dataset (used by the generators
 // and the experiment harness).
-func NewDBFromDataset(ds *tsdata.Dataset) *DB { return &DB{ds: ds} }
+func NewDBFromDataset(ds *tsdata.Dataset) *DB {
+	return &DB{ds: ds, journal: qcache.NewJournal(0)}
+}
 
 // Dataset exposes the underlying dataset for advanced use.
 //
@@ -256,6 +264,10 @@ type Index struct {
 	mu sync.RWMutex
 	m  exact.Method
 	db *DB
+	// opts records the build configuration (with Method normalized) so
+	// memtable compaction can rebuild an equivalent index over the
+	// compacted dataset.
+	opts Options
 }
 
 // BuildIndex constructs an index over the database.
@@ -284,7 +296,8 @@ func (db *DB) BuildIndex(opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{m: m, db: db}, nil
+	opts.Method = Method(name)
+	return &Index{m: m, db: db, opts: opts}, nil
 }
 
 // Method returns the index's method name.
@@ -394,6 +407,7 @@ func appendLocked(db *DB, ixs []*Index, id int, t, v float64) error {
 	if err := seg.Validate(); err != nil {
 		return err
 	}
+	prevEnd := s.End()
 	applied := false
 	for _, ix := range ixs {
 		var err error
@@ -420,6 +434,11 @@ func appendLocked(db *DB, ixs []*Index, id int, t, v float64) error {
 	}
 	db.ds.Refresh()
 	db.version.Add(1)
+	if db.journal != nil {
+		// The new segment covers (prevEnd, t]: only cached answers whose
+		// window overlaps it can have observed different data.
+		db.journal.Advance(qcache.Scope{Series: id, T1: prevEnd, T2: t})
+	}
 	return nil
 }
 
