@@ -63,26 +63,36 @@ type poolBenchResult struct {
 	Speedup          float64 `json:"speedup"`
 }
 
+// arenaHeapPoint is one sealed-index live-heap sample: how many heap
+// objects the index retains after sealing, at one dataset scale.
+type arenaHeapPoint struct {
+	AvgSegments int   `json:"avg_segments"`
+	HeapObjects int64 `json:"heap_objects"`
+}
+
 // serveBenchReport is BENCH_serve.json: the serving read-path
 // trajectory artifact CI uploads per commit.
 type serveBenchReport struct {
-	GeneratedUnix int64           `json:"generated_unix"`
-	GoMaxProcs    int             `json:"gomaxprocs"`
-	NumCPU        int             `json:"num_cpu"`
-	Objects       int             `json:"objects"`
-	AvgSegments   int             `json:"avg_segments"`
-	K             int             `json:"k"`
-	Distinct      int             `json:"distinct_queries"`
-	ZipfS         float64         `json:"zipf_s"`
-	Runs          []serveBenchRun `json:"runs"`
-	BufferPool    poolBenchResult `json:"buffer_pool"`
+	GeneratedUnix int64            `json:"generated_unix"`
+	GoMaxProcs    int              `json:"gomaxprocs"`
+	NumCPU        int              `json:"num_cpu"`
+	Objects       int              `json:"objects"`
+	AvgSegments   int              `json:"avg_segments"`
+	K             int              `json:"k"`
+	Distinct      int              `json:"distinct_queries"`
+	ZipfS         float64          `json:"zipf_s"`
+	Runs          []serveBenchRun  `json:"runs"`
+	BufferPool    poolBenchResult  `json:"buffer_pool"`
+	ArenaHeap     []arenaHeapPoint `json:"arena_heap"`
 }
 
 // runServeBench replays a zipfian repeated-query workload (the shape a
 // serving deployment sees: a hot head of popular queries and a long
-// tail) against one Planner, uncached and cached, then benchmarks the
-// buffer pool's parallel read path against the seed single-mutex
-// design. Results land in path as JSON.
+// tail) against one Planner — uncached, cached, and over a sealed
+// arena index — then benchmarks the buffer pool's parallel read path
+// against the seed single-mutex design and samples the sealed index's
+// live-heap footprint across dataset scales. Results land in path as
+// JSON.
 func runServeBench(path string, p exp.Params, cfg serveBenchConfig) error {
 	if cfg.ZipfS <= 1 {
 		return fmt.Errorf("-serve-zipf must be > 1 (rand.NewZipf's domain), got %g", cfg.ZipfS)
@@ -146,6 +156,29 @@ func runServeBench(path string, p exp.Params, cfg serveBenchConfig) error {
 			return err
 		}
 		report.Runs = append(report.Runs, run)
+	}
+	// Arena run: the same uncached workload against the same method, but
+	// with the index sealed into one contiguous slab — the pure
+	// offset-arithmetic View path, no buffer pool or pinning in front.
+	ixArena, err := db.BuildIndex(temporalrank.Options{
+		Method:      temporalrank.MethodExact3,
+		SealIndexes: true,
+	})
+	if err != nil {
+		return err
+	}
+	plannerArena, err := temporalrank.NewPlanner(db, ixArena)
+	if err != nil {
+		return err
+	}
+	arenaRun, err := measureServe(plannerArena, templates, "arena", cfg)
+	if err != nil {
+		return err
+	}
+	report.Runs = append(report.Runs, arenaRun)
+	report.ArenaHeap, err = measureArenaHeap(p.M, []int{p.Navg, p.Navg * 2, p.Navg * 4}, p.Seed)
+	if err != nil {
+		return err
 	}
 	// The pool comparison oversubscribes readers (2x the serve clients,
 	// at least 16): the seed pool's weakness is lock contention, which
@@ -305,6 +338,53 @@ func measureAllocsPerOp(planner *temporalrank.Planner, q temporalrank.Query) flo
 	}
 	runtime.ReadMemStats(&after)
 	return float64(after.Mallocs-before.Mallocs) / ops
+}
+
+// measureArenaHeap builds sealed EXACT3 indexes at growing dataset
+// scales and records how many live heap objects each retains. A
+// sealed index is one slab plus O(1) headers, so the retained object
+// count must stay ~flat while the dataset — and the slab's bytes —
+// grow 4x; the run fails otherwise, which is the bench's standing
+// guard against the arena quietly re-fragmenting into per-page
+// allocations.
+func measureArenaHeap(m int, navgs []int, seed int64) ([]arenaHeapPoint, error) {
+	points := make([]arenaHeapPoint, 0, len(navgs))
+	var ms runtime.MemStats
+	for _, navg := range navgs {
+		ds, err := gen.RandomWalk(gen.RandomWalkConfig{M: m, Navg: navg, Seed: seed, Span: 1000})
+		if err != nil {
+			return nil, err
+		}
+		db := temporalrank.NewDBFromDataset(ds)
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		before := int64(ms.HeapObjects)
+		ix, err := db.BuildIndex(temporalrank.Options{
+			Method:      temporalrank.MethodExact3,
+			SealIndexes: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		points = append(points, arenaHeapPoint{AvgSegments: navg, HeapObjects: int64(ms.HeapObjects) - before})
+		runtime.KeepAlive(ix)
+	}
+	lo, hi := points[0].HeapObjects, points[0].HeapObjects
+	for _, pt := range points[1:] {
+		lo, hi = min(lo, pt.HeapObjects), max(hi, pt.HeapObjects)
+	}
+	// Flatness: a 4x dataset may not cost more than 50% more retained
+	// objects plus a fixed GC-noise allowance. Per-page retention would
+	// blow through this immediately (thousands of pages per scale step).
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > lo+lo/2+1024 {
+		return nil, fmt.Errorf("sealed index heap objects not flat across dataset scales: %v", points)
+	}
+	return points, nil
 }
 
 // measurePoolParallel compares the sharded pool with the seed

@@ -9,6 +9,7 @@
 //	trerr      sentinel comparisons must use errors.Is; fmt.Errorf must %w errors
 //	ctxflow    context.Background/TODO must not drop an in-scope caller context
 //	hotalloc   //tr:hotpath functions must not allocate (waiver: //tr:alloc-ok)
+//	pagecopy   //tr:hotpath functions must not copy pages where a View exists (waiver: //tr:pagecopy-ok)
 //
 // Standalone usage (what CI runs):
 //
@@ -39,6 +40,7 @@ import (
 	"temporalrank/internal/analysis/hotalloc"
 	"temporalrank/internal/analysis/load"
 	"temporalrank/internal/analysis/lockorder"
+	"temporalrank/internal/analysis/pagecopy"
 	trerrcheck "temporalrank/internal/analysis/trerr"
 )
 
@@ -48,6 +50,7 @@ var all = []*analysis.Analyzer{
 	trerrcheck.Analyzer,
 	ctxflow.Analyzer,
 	hotalloc.Analyzer,
+	pagecopy.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,12 @@
+package pagecopy_test
+
+import (
+	"testing"
+
+	"temporalrank/internal/analysis/analysistest"
+	"temporalrank/internal/analysis/pagecopy"
+)
+
+func TestPageCopy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), pagecopy.Analyzer, "pagecopytest", "selfviews", "noviews")
+}

@@ -1,0 +1,11 @@
+// Package noviews has no view vocabulary in scope: the analyzer must
+// not switch on, even for hot-path functions calling methods named
+// Read.
+package noviews
+
+import "os"
+
+//tr:hotpath
+func hotFileRead(f *os.File, p []byte) (int, error) {
+	return f.Read(p)
+}

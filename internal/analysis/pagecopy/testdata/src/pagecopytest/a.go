@@ -1,0 +1,80 @@
+// Package pagecopytest exercises the pagecopy analyzer against the
+// real blockio vocabulary: hot-path functions must not fall back to
+// copy-based page access when a zero-copy View exists.
+package pagecopytest
+
+import (
+	"encoding/binary"
+
+	"temporalrank/internal/blockio"
+)
+
+// hotInterfaceRead reads through the Device interface on a hot path:
+// the canonical regression the analyzer exists to catch.
+//
+//tr:hotpath
+func hotInterfaceRead(dev blockio.Device, id blockio.PageID, buf []byte) error {
+	return dev.Read(id, buf) // want `copy-based page Read on hot path`
+}
+
+// hotConcreteRead reads through a concrete device type; the method
+// still resolves to a blockio Read with the page-read shape.
+//
+//tr:hotpath
+func hotConcreteRead(dev *blockio.MemDevice, id blockio.PageID, buf []byte) error {
+	return dev.Read(id, buf) // want `copy-based page Read on hot path`
+}
+
+// hotScratch rents copy scratch on a hot path: the tell of a
+// copy-based scan even before the Read lands.
+//
+//tr:hotpath
+func hotScratch(dev blockio.Device, id blockio.PageID) (uint64, error) {
+	buf := blockio.GetPageBuf(dev.BlockSize()) // want `page scratch rental on hot path`
+	defer blockio.PutPageBuf(buf)
+	if err := dev.Read(id, *buf); err != nil { // want `copy-based page Read on hot path`
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(*buf), nil
+}
+
+// hotViewOK decodes in place from a view: the sanctioned shape.
+//
+//tr:hotpath
+func hotViewOK(dev blockio.Device, id blockio.PageID) (uint64, error) {
+	v, err := blockio.View(dev, id)
+	if err != nil {
+		return 0, err
+	}
+	defer v.Release()
+	return binary.LittleEndian.Uint64(v.Data()), nil
+}
+
+// hotWaived materializes bytes deliberately — a copy-out boundary —
+// and says so.
+//
+//tr:hotpath
+func hotWaived(dev blockio.Device, id blockio.PageID, out []byte) error {
+	//tr:pagecopy-ok copy-out API boundary: caller owns out
+	return dev.Read(id, out)
+}
+
+// hotWaivedSameLine carries the waiver on the flagged line itself.
+//
+//tr:hotpath
+func hotWaivedSameLine(dev blockio.Device, id blockio.PageID, out []byte) error {
+	return dev.Read(id, out) //tr:pagecopy-ok copy-out API boundary: caller owns out
+}
+
+// coldRead is unannotated: copies off the hot path are fine.
+func coldRead(dev blockio.Device, id blockio.PageID, buf []byte) error {
+	return dev.Read(id, buf)
+}
+
+// hotOtherRead calls a Read that is not blockio's (io.Reader shape):
+// must not be flagged.
+//
+//tr:hotpath
+func hotOtherRead(r interface{ Read(p []byte) (int, error) }, p []byte) (int, error) {
+	return r.Read(p)
+}

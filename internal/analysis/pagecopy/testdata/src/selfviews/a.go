@@ -1,0 +1,42 @@
+// Package selfviews declares the view vocabulary itself — PageView
+// plus a Viewer interface — standing in for blockio. The declaring
+// package hosts the copy-based fallbacks by design, so the analyzer
+// must stay silent here even on annotated hot paths.
+package selfviews
+
+// PageID addresses one page.
+type PageID int64
+
+// PageView is a zero-copy page view.
+type PageView struct{ data []byte }
+
+// Data returns the viewed bytes.
+func (v PageView) Data() []byte { return v.data }
+
+// Viewer yields zero-copy views.
+type Viewer interface {
+	View(id PageID) (PageView, error)
+}
+
+// Device is the copy-based page store.
+type Device interface {
+	Read(id PageID, buf []byte) error
+}
+
+// GetPageBuf rents scratch.
+func GetPageBuf(size int) *[]byte {
+	b := make([]byte, size)
+	return &b
+}
+
+// hotFallback is the universal copy-based fallback the engine
+// degrades to: legitimate inside the declaring package.
+//
+//tr:hotpath
+func hotFallback(dev Device, id PageID) (PageView, error) {
+	buf := GetPageBuf(8)
+	if err := dev.Read(id, *buf); err != nil {
+		return PageView{}, err
+	}
+	return PageView{data: *buf}, nil
+}

@@ -152,26 +152,29 @@ func readList(dev blockio.Device, ref listRef, limit int) ([]topk.Item, error) {
 	}
 	out := make([]topk.Item, 0, want)
 	// List reads run once per (query, breakpoint) on the approximate
-	// read path; recycle the page scratch instead of allocating per
-	// read.
-	bp := blockio.GetPageBuf(dev.BlockSize())
-	defer blockio.PutPageBuf(bp)
-	buf := *bp
-	page := ref.head
-	off := int(ref.off)
-	if err := dev.Read(page, buf); err != nil {
+	// read path; each chained page is decoded in place from a zero-copy
+	// view, held only while its entries are consumed.
+	v, err := blockio.View(dev, ref.head)
+	if err != nil {
 		return nil, err
 	}
+	buf := v.Data()
+	off := int(ref.off)
 	for len(out) < want {
 		if off+listEntrySize > len(buf) {
 			next := blockio.PageID(int64(binary.LittleEndian.Uint64(buf[0:])))
 			if next == blockio.InvalidPage {
+				v.Release()
 				return nil, fmt.Errorf("approx: list truncated at %d of %d entries", len(out), want)
 			}
-			if err := dev.Read(next, buf); err != nil {
+			nv, err := blockio.View(dev, next)
+			if err != nil {
+				v.Release()
 				return nil, err
 			}
-			page = next
+			v.Release()
+			v = nv
+			buf = v.Data()
 			off = arenaHeaderSize
 		}
 		out = append(out, topk.Item{
@@ -180,6 +183,7 @@ func readList(dev blockio.Device, ref listRef, limit int) ([]topk.Item, error) {
 		})
 		off += listEntrySize
 	}
+	v.Release()
 	return out, nil
 }
 

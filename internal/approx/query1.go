@@ -94,6 +94,16 @@ func (q *Query1) KMax() int { return q.kmax }
 // Breakpoints returns the underlying breakpoint set.
 func (q *Query1) Breakpoints() *breakpoint.Set { return q.bps }
 
+// setDevice re-seats the structure (both tree levels and the packed
+// lists) onto a device holding the same page image — the seal path.
+func (q *Query1) setDevice(dev blockio.Device) {
+	q.dev = dev
+	q.ttop.SetDevice(dev)
+	for _, t := range q.lower {
+		t.SetDevice(dev)
+	}
+}
+
 // TopK answers the approximate query by snapping [t1,t2] to
 // [B(t1),B(t2)] through the two tree levels and reading the
 // materialized list. k must be <= kmax.
@@ -114,6 +124,7 @@ func (q *Query1) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
 		return nil, err
 	}
 	j := int(binary.LittleEndian.Uint32(cur.Value()))
+	cur.Close()
 	// Snap t2 through the lower tree of b_j.
 	lc, err := q.lower[j].SearchCeil(t2)
 	if errors.Is(err, bptree.ErrNotFound) {
@@ -128,5 +139,7 @@ func (q *Query1) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
 	if err != nil {
 		return nil, err
 	}
-	return readList(q.dev, decodeListRef(lc.Value()), k)
+	ref := decodeListRef(lc.Value())
+	lc.Close()
+	return readList(q.dev, ref, k)
 }

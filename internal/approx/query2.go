@@ -96,6 +96,11 @@ func (q *Query2) KMax() int { return q.kmax }
 // Breakpoints returns the underlying breakpoint set.
 func (q *Query2) Breakpoints() *breakpoint.Set { return q.bps }
 
+// setDevice re-seats the packed lists onto a device holding the same
+// page image — the seal path (the node directory is in memory and
+// carries over unchanged).
+func (q *Query2) setDevice(dev blockio.Device) { q.dev = dev }
+
 // NumNodes returns the number of dyadic intervals (diagnostics; < 2r).
 func (q *Query2) NumNodes() int { return len(q.nodes) }
 

@@ -1,6 +1,7 @@
 package blockio
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 )
@@ -41,6 +42,13 @@ import (
 //   - A Device implementation must never call back into the pool that
 //     wraps it (its locks sit strictly below every shard lock).
 //
+// Zero-copy reads: View lends the resident frame out directly and
+// pins it (a per-frame refcount, bumped and dropped under the shard
+// lock). CLOCK treats pinned frames as unevictable, so the lent bytes
+// stay valid until Release; if a stripe is ever saturated with pins,
+// fills degrade to uncached service instead of failing (errAllPinned
+// stays internal).
+//
 // The pool keeps hit/miss counters so ablation benchmarks can report
 // both logical (uncached) and physical (cached) IO. The counters are
 // striped with the shards (plain fields bumped under the already-held
@@ -68,17 +76,28 @@ type poolShard struct {
 
 // clockFrame is one cached page. Its data slice is immutable once set:
 // Write and install replace the slice wholesale rather than mutating
-// bytes in place. That invariant is what lets Read copy a hit out
-// AFTER releasing the shard lock — the slice it grabbed under the lock
-// can be superseded but never scribbled on. ref is the CLOCK
-// second-chance bit; every access happens under the shard lock.
+// bytes in place. That invariant is what lets Read copy a hit out —
+// and View lend the slice out — AFTER releasing the shard lock: the
+// slice grabbed under the lock can be superseded but never scribbled
+// on. ref is the CLOCK second-chance bit; pins counts outstanding
+// PageViews of the frame (a pinned slot is never reclaimed or reused,
+// so a view's (shard, slot) address stays valid until Release). Every
+// field access happens under the shard lock.
 type clockFrame struct {
 	id    PageID
 	data  []byte
 	dirty bool
 	live  bool
 	ref   bool
+	pins  int
 }
+
+// errAllPinned reports that every frame in a shard is pinned by
+// outstanding views, so nothing can be evicted to make room. It never
+// escapes the pool's public API: each caller degrades to an uncached
+// fallback (serve the read without installing, write through, return
+// an unpinned copy view).
+var errAllPinned = errors.New("blockio: all frames in shard pinned")
 
 // NewBufferPool creates a pool holding up to capacity pages of dev,
 // striped across a shard count derived from GOMAXPROCS (capped so every
@@ -184,7 +203,14 @@ func (p *BufferPool) Alloc() (PageID, error) {
 	sh := p.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := p.installLocked(sh, id, make([]byte, p.dev.BlockSize()), true); err != nil {
+	if _, err := p.installLocked(sh, id, make([]byte, p.dev.BlockSize()), true); err != nil {
+		if errors.Is(err, errAllPinned) {
+			// Every frame is pinned by views: skip caching. The device
+			// page is already zeroed per the Alloc contract, so nothing
+			// is lost — the page is just served uncached until a pin
+			// drains.
+			return id, nil
+		}
 		return InvalidPage, err
 	}
 	return id, nil
@@ -213,18 +239,90 @@ func (p *BufferPool) Read(id PageID, buf []byte) error {
 	}
 	defer sh.mu.Unlock()
 	sh.misses++
-	// The fill holds the shard lock across dev.Read (the data-path
-	// order); misses on other shards proceed in parallel.
-	//tr:alloc-ok miss path only: the hit path returned above
-	data := make([]byte, p.dev.BlockSize())
-	if err := p.dev.Read(id, data); err != nil {
+	data, _, err := p.fillLocked(sh, id)
+	if err != nil {
 		return err
 	}
-	if err := p.installLocked(sh, id, data, false); err != nil {
-		return err
-	}
+	// One pass: the frame was filled straight from the device and the
+	// caller is served from the installed frame itself — no
+	// intermediate scratch buffer between device and cache.
 	copy(buf, data)
 	return nil
+}
+
+// View implements Viewer. A hit lends out the resident frame and pins
+// it (CLOCK skips pinned frames, so the bytes stay valid until
+// Release); a miss fills a frame once and lends that — the zero-copy
+// analogue of Read's miss. If every frame in the stripe is pinned the
+// view degrades to an unpinned private copy, so View never fails just
+// because the cache is saturated with pins.
+//
+//tr:hotpath
+func (p *BufferPool) View(id PageID) (PageView, error) {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	if slot, ok := sh.slots[id]; ok {
+		fr := &sh.ring[slot]
+		fr.ref = true
+		fr.pins++
+		sh.hits++
+		data := fr.data
+		sh.mu.Unlock()
+		return PageView{data: data, sh: sh, slot: slot}, nil
+	}
+	sh.misses++
+	data, slot, err := p.fillLocked(sh, id)
+	if err != nil {
+		sh.mu.Unlock()
+		return PageView{}, err
+	}
+	if slot < 0 {
+		// Uncached fill (all frames pinned): data is a private slice no
+		// frame references, so the view needs no pin and no release
+		// bookkeeping beyond GC.
+		sh.mu.Unlock()
+		return PageView{data: data}, nil
+	}
+	sh.ring[slot].pins++
+	sh.mu.Unlock()
+	return PageView{data: data, sh: sh, slot: slot}, nil
+}
+
+// fillLocked reads page id from the device into a fresh frame-sized
+// slice and installs it, returning the installed data and slot. When
+// every frame is pinned the fill still succeeds but nothing is
+// cached: the data is returned with slot == -1. The caller holds
+// sh.mu; dev.Read runs under it (data-path order), so misses on other
+// shards proceed in parallel.
+func (p *BufferPool) fillLocked(sh *poolShard, id PageID) ([]byte, int, error) {
+	data := make([]byte, p.dev.BlockSize())
+	if err := p.dev.Read(id, data); err != nil {
+		return nil, -1, err
+	}
+	slot, err := p.installLocked(sh, id, data, false)
+	if err != nil {
+		if errors.Is(err, errAllPinned) {
+			return data, -1, nil
+		}
+		return nil, -1, err
+	}
+	return data, slot, nil
+}
+
+// PinStats returns the number of outstanding frame pins across all
+// shards. Zero means every PageView handed out by View has been
+// released — test suites assert this to detect leaked pins.
+func (p *BufferPool) PinStats() int {
+	total := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for j := range sh.ring {
+			total += sh.ring[j].pins
+		}
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // Write implements Device: the write is buffered and flushed on
@@ -247,23 +345,33 @@ func (p *BufferPool) Write(id PageID, data []byte) error {
 		return nil
 	}
 	sh.misses++
-	return p.installLocked(sh, id, page, true)
+	if _, err := p.installLocked(sh, id, page, true); err != nil {
+		if errors.Is(err, errAllPinned) {
+			// Every frame is pinned by views: write through to the
+			// device instead of caching (data-path order — one shard
+			// lock held across dev.Write).
+			return p.dev.Write(id, page)
+		}
+		return err
+	}
+	return nil
 }
 
 // installLocked adds a frame to sh, evicting via the CLOCK hand if the
-// stripe is full. The caller holds sh.mu exclusively; dirty eviction
-// write-back calls dev.Write under it (data-path order).
-func (p *BufferPool) installLocked(sh *poolShard, id PageID, data []byte, dirty bool) error {
+// stripe is full, and returns the slot installed into. The caller
+// holds sh.mu exclusively; dirty eviction write-back calls dev.Write
+// under it (data-path order).
+func (p *BufferPool) installLocked(sh *poolShard, id PageID, data []byte, dirty bool) (int, error) {
 	if slot, ok := sh.slots[id]; ok {
 		fr := &sh.ring[slot]
 		fr.data = data
 		fr.dirty = fr.dirty || dirty
 		fr.ref = true
-		return nil
+		return slot, nil
 	}
 	slot, err := p.freeSlotLocked(sh)
 	if err != nil {
-		return err
+		return -1, err
 	}
 	fr := &sh.ring[slot]
 	fr.id = id
@@ -272,25 +380,34 @@ func (p *BufferPool) installLocked(sh *poolShard, id PageID, data []byte, dirty 
 	fr.live = true
 	fr.ref = true
 	sh.slots[id] = slot
-	return nil
+	return slot, nil
 }
 
 // freeSlotLocked returns a ring slot to install into: a fresh slot
 // while the ring is cold, a vacated (Freed) slot when one exists under
 // the hand's sweep, else the first frame the CLOCK hand finds with a
-// clear reference bit (second chance: set bits are cleared and skipped;
-// termination is guaranteed because a full sweep clears every bit).
+// clear reference bit (second chance: set bits are cleared and
+// skipped). Pinned frames — outstanding PageViews — are never
+// reclaimed and never reused, even when detached by Free: a view's
+// (shard, slot) address must stay valid until Release. The sweep is
+// bounded at two full revolutions (the first clears every unpinned ref
+// bit, the second must then find a victim); if none is found, every
+// frame is pinned and errAllPinned is returned for the caller to
+// degrade gracefully.
 func (p *BufferPool) freeSlotLocked(sh *poolShard) (int, error) {
 	if len(sh.ring) < sh.cap {
 		sh.ring = append(sh.ring, clockFrame{})
 		return len(sh.ring) - 1, nil
 	}
-	for {
+	for spins := 2 * len(sh.ring); spins > 0; spins-- {
 		fr := &sh.ring[sh.hand]
 		slot := sh.hand
 		sh.hand++
 		if sh.hand == len(sh.ring) {
 			sh.hand = 0
+		}
+		if fr.pins > 0 {
+			continue
 		}
 		if !fr.live {
 			return slot, nil
@@ -309,6 +426,7 @@ func (p *BufferPool) freeSlotLocked(sh *poolShard) (int, error) {
 		fr.data = nil
 		return slot, nil
 	}
+	return 0, errAllPinned
 }
 
 // Free implements Device; the cached frame is dropped without
@@ -413,3 +531,5 @@ func (p *BufferPool) Close() error {
 var _ Device = (*BufferPool)(nil)
 var _ Device = (*MemDevice)(nil)
 var _ Device = (*FileDevice)(nil)
+var _ Viewer = (*BufferPool)(nil)
+var _ Viewer = (*MemDevice)(nil)

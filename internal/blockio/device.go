@@ -245,6 +245,24 @@ func (d *MemDevice) Read(id PageID, buf []byte) error {
 	return nil
 }
 
+// View implements Viewer: the returned view aliases the page's backing
+// array directly — zero copies, counted as one read. MemDevice mutates
+// page bytes in place on Write, so callers must serialize views
+// against writers of the same page (the indexes hold Index.mu for
+// reading across every traversal, exclusively across appends), and a
+// released view must not be used after a concurrent Write lands.
+//
+//tr:hotpath
+func (d *MemDevice) View(id PageID) (PageView, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkLocked(id); err != nil {
+		return PageView{}, err
+	}
+	d.stats.reads.Add(1)
+	return PageView{data: d.pages[id]}, nil
+}
+
 // Write implements Device.
 func (d *MemDevice) Write(id PageID, data []byte) error {
 	d.mu.Lock()

@@ -1,0 +1,41 @@
+package blockio_test
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"temporalrank/internal/blockio"
+)
+
+// ExamplePageView shows the zero-copy read discipline: acquire a view
+// of the resident page, decode in place, and release it. Over a
+// BufferPool the view pins the cached frame (eviction skips it) for
+// exactly this window; over a MemDevice it aliases the backing slice;
+// over a device with no view fast path, blockio.View transparently
+// falls back to a pooled copy — callers never branch on the device
+// type.
+func ExamplePageView() {
+	dev := blockio.NewMemDevice(64)
+	pool := blockio.NewBufferPool(dev, 8)
+
+	id, _ := pool.Alloc()
+	page := make([]byte, 64)
+	binary.LittleEndian.PutUint64(page, 42)
+	if err := pool.Write(id, page); err != nil {
+		panic(err)
+	}
+
+	v, err := pool.View(id)
+	if err != nil {
+		panic(err)
+	}
+	// Decode directly from the frame — no copy. The bytes are valid
+	// until Release; don't let them escape past it.
+	fmt.Println(binary.LittleEndian.Uint64(v.Data()))
+	v.Release()
+
+	fmt.Println("pinned after release:", pool.PinStats())
+	// Output:
+	// 42
+	// pinned after release: 0
+}

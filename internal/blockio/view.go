@@ -1,0 +1,92 @@
+package blockio
+
+// Zero-copy page views.
+//
+// The copy-based Device.Read contract charges every page access a full
+// block memcpy into caller scratch, even when the page is already
+// resident (a buffer-pool hit, a MemDevice page, an Arena slab). A
+// PageView instead lends the caller the resident bytes themselves:
+// read-only, valid until Release. Post-build index traversals decode
+// fields in place from the view, so a warm top-k query does no page
+// copies at all.
+//
+// Lifetime discipline. A view must be released exactly once, promptly
+// (a buffer-pool view pins its frame, and a pinned frame is exempt
+// from CLOCK eviction — holding views across long pauses shrinks the
+// effective cache). Views are read-only: writing through Data() is a
+// data race against every other reader of the page. Views of mutable
+// devices (MemDevice) additionally require the caller to serialize
+// against writers of the same page — the indexes already do, by
+// holding Index.mu for reading while queries run and exclusively while
+// appends and rebuilds run.
+
+// Viewer is implemented by devices that can serve a page as an
+// in-place, read-only view instead of a copy. View counts toward the
+// device's read statistics exactly as Read does, so IO accounting is
+// unchanged by the zero-copy path.
+type Viewer interface {
+	View(id PageID) (PageView, error)
+}
+
+// PageView is a read-only window onto one resident page. The zero
+// value is released. Obtain one from View (or a Viewer directly) and
+// release it exactly once; Release is idempotent.
+type PageView struct {
+	data []byte
+	sh   *poolShard // non-nil: the view pins a buffer-pool frame
+	slot int
+	buf  *[]byte // non-nil: data is a pooled copy (fallback path)
+}
+
+// Data returns the page bytes. The slice is valid until Release and
+// must not be written to.
+//
+//tr:hotpath
+func (v *PageView) Data() []byte { return v.data }
+
+// Release returns the view's resources: a buffer-pool view unpins its
+// frame, a fallback view returns its scratch buffer to the page pool.
+// Idempotent; the view must not be used afterwards.
+//
+//tr:hotpath
+func (v *PageView) Release() {
+	if v.sh != nil {
+		sh := v.sh
+		v.sh = nil
+		sh.mu.Lock()
+		// Re-derive the frame from (shard, slot): the slot assignment is
+		// stable while pinned (freeSlotLocked never reclaims or reuses a
+		// slot with pins > 0, even after Free detaches it).
+		sh.ring[v.slot].pins--
+		sh.mu.Unlock()
+	}
+	if v.buf != nil {
+		PutPageBuf(v.buf)
+		v.buf = nil
+	}
+	v.data = nil
+}
+
+// View returns a read-only view of page id on d. Devices implementing
+// Viewer serve it zero-copy; for any other device the view is a pooled
+// copy (one Read into pool scratch), so callers can use the view API
+// uniformly and still release correctly.
+//
+//tr:hotpath
+func View(d Device, id PageID) (PageView, error) {
+	if v, ok := d.(Viewer); ok {
+		return v.View(id)
+	}
+	return copyView(d, id)
+}
+
+// copyView is the universal fallback: materialize the page into pooled
+// scratch and wrap it as a view that returns the scratch on Release.
+func copyView(d Device, id PageID) (PageView, error) {
+	buf := GetPageBuf(d.BlockSize())
+	if err := d.Read(id, *buf); err != nil {
+		PutPageBuf(buf)
+		return PageView{}, err
+	}
+	return PageView{data: *buf, buf: buf}, nil
+}

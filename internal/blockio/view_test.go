@@ -1,0 +1,412 @@
+package blockio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// fillTestPage writes a recognizable, self-consistent pattern: the
+// page id in the first byte, then a repeated version byte. A torn or
+// misdirected view shows up as a mixed pattern.
+func fillTestPage(buf []byte, id PageID, version byte) {
+	buf[0] = byte(id)
+	for i := 1; i < len(buf); i++ {
+		buf[i] = version
+	}
+}
+
+// checkTestPage verifies a page holds exactly one (id, version) pattern.
+func checkTestPage(t *testing.T, buf []byte, id PageID) {
+	t.Helper()
+	if buf[0] != byte(id) {
+		t.Fatalf("page %d: header byte %d", id, buf[0])
+	}
+	v := buf[1]
+	for i := 2; i < len(buf); i++ {
+		if buf[i] != v {
+			t.Fatalf("page %d: torn content at %d: %d vs %d", id, i, buf[i], v)
+		}
+	}
+}
+
+func newTestPool(t *testing.T, pages, capacity, shards int) (*BufferPool, *MemDevice) {
+	t.Helper()
+	dev := NewMemDevice(128)
+	buf := make([]byte, 128)
+	for i := 0; i < pages; i++ {
+		id, err := dev.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillTestPage(buf, id, 1)
+		if err := dev.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewBufferPoolSharded(dev, capacity, shards), dev
+}
+
+// TestMemDeviceView: zero-copy views alias the live page, count as
+// reads, and report the same errors as Read.
+func TestMemDeviceView(t *testing.T) {
+	dev := NewMemDevice(64)
+	id, _ := dev.Alloc()
+	data := make([]byte, 64)
+	fillTestPage(data, id, 7)
+	if err := dev.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	before := dev.Stats().Reads
+	v, err := dev.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v.Data(), data) {
+		t.Fatal("view content differs from page")
+	}
+	if got := dev.Stats().Reads - before; got != 1 {
+		t.Fatalf("View counted %d reads, want 1", got)
+	}
+	v.Release()
+	v.Release() // idempotent
+	if _, err := dev.View(99); !errors.Is(err, ErrPageBounds) {
+		t.Fatalf("out-of-bounds view: %v", err)
+	}
+	if err := dev.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.View(id); !errors.Is(err, ErrPageFreed) {
+		t.Fatalf("freed view: %v", err)
+	}
+}
+
+// TestViewFallbackCopies: a device with no Viewer gets a pooled-copy
+// view through the package helper, with identical contents.
+func TestViewFallbackCopies(t *testing.T) {
+	fd, err := OpenFileDevice(t.TempDir()+"/dev.pages", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd.Close()
+	id, _ := fd.Alloc()
+	data := make([]byte, 64)
+	fillTestPage(data, id, 9)
+	if err := fd.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	v, err := View(fd, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v.Data(), data) {
+		t.Fatal("fallback view content differs")
+	}
+	v.Release()
+}
+
+// TestViewPinBlocksEviction: a pinned frame survives arbitrary cache
+// pressure — the CLOCK hand must walk around it — and its bytes stay
+// exactly the page image it lent out.
+func TestViewPinBlocksEviction(t *testing.T) {
+	const pages = 64
+	p, _ := newTestPool(t, pages, 2, 1)
+	v, err := p.View(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), v.Data()...)
+	// Storm the single shard so every unpinned frame turns over many
+	// times.
+	buf := make([]byte, p.BlockSize())
+	for round := 0; round < 4; round++ {
+		for id := PageID(1); id < pages; id++ {
+			if err := p.Read(id, buf); err != nil {
+				t.Fatal(err)
+			}
+			checkTestPage(t, buf, id)
+		}
+	}
+	if !bytes.Equal(v.Data(), want) {
+		t.Fatal("pinned view mutated under eviction pressure")
+	}
+	if got := p.PinStats(); got != 1 {
+		t.Fatalf("PinStats = %d, want 1 (leak detection)", got)
+	}
+	v.Release()
+	if got := p.PinStats(); got != 0 {
+		t.Fatalf("PinStats after release = %d, want 0", got)
+	}
+}
+
+// TestViewAllPinnedDegradation: when every frame of a stripe is
+// pinned, View/Read/Write/Alloc all keep working via their uncached
+// fallbacks instead of failing or evicting a pinned frame.
+func TestViewAllPinnedDegradation(t *testing.T) {
+	p, dev := newTestPool(t, 8, 1, 1) // one frame total
+	v0, err := p.View(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only frame is pinned: a second view must degrade to an
+	// unpinned copy, not error and not evict.
+	v1, err := p.View(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTestPage(t, v1.Data(), 1)
+	if got := p.PinStats(); got != 1 {
+		t.Fatalf("PinStats = %d, want 1 (fallback view must not pin)", got)
+	}
+	// Uncached read.
+	buf := make([]byte, p.BlockSize())
+	if err := p.Read(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	checkTestPage(t, buf, 2)
+	// Write-through.
+	fillTestPage(buf, 3, 42)
+	if err := p.Write(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, p.BlockSize())
+	if err := dev.Read(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("all-pinned Write did not reach the device")
+	}
+	// Alloc still produces a usable zero page.
+	id, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("fresh page byte %d = %d, want 0", i, b)
+		}
+	}
+	checkTestPage(t, v0.Data(), 0) // the pin held throughout
+	v0.Release()
+	v1.Release()
+	if got := p.PinStats(); got != 0 {
+		t.Fatalf("PinStats = %d, want 0", got)
+	}
+}
+
+// TestViewPinsBalancedConcurrent is the -race property test: random
+// concurrent viewers, copy-readers, and a Flusher over a small pool.
+// Every view observed must be internally consistent, and when the dust
+// settles every pin must be balanced by a release.
+func TestViewPinsBalancedConcurrent(t *testing.T) {
+	const (
+		pages   = 48
+		workers = 8
+		iters   = 2000
+	)
+	p, _ := newTestPool(t, pages, 8, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			buf := make([]byte, p.BlockSize())
+			var held []PageView
+			for i := 0; i < iters; i++ {
+				id := PageID(rng.Intn(pages))
+				switch rng.Intn(4) {
+				case 0: // copy read
+					if err := p.Read(id, buf); err != nil {
+						t.Errorf("Read(%d): %v", id, err)
+						return
+					}
+				case 1: // view, hold a while
+					v, err := p.View(id)
+					if err != nil {
+						t.Errorf("View(%d): %v", id, err)
+						return
+					}
+					if v.Data()[0] != byte(id) {
+						t.Errorf("view of %d shows page %d", id, v.Data()[0])
+						v.Release()
+						return
+					}
+					held = append(held, v)
+					if len(held) > 4 {
+						held[0].Release()
+						held = held[1:]
+					}
+				case 2: // view, release immediately
+					v, err := p.View(id)
+					if err != nil {
+						t.Errorf("View(%d): %v", id, err)
+						return
+					}
+					v.Release()
+				case 3:
+					if err := p.Flush(); err != nil {
+						t.Errorf("Flush: %v", err)
+						return
+					}
+				}
+			}
+			for i := range held {
+				held[i].Release()
+			}
+		}(int64(w) * 7919)
+	}
+	wg.Wait()
+	if got := p.PinStats(); got != 0 {
+		t.Fatalf("PinStats after concurrent suite = %d, want 0 (leaked pins)", got)
+	}
+	// With no pins outstanding, eviction pressure must work again on
+	// every frame.
+	buf := make([]byte, p.BlockSize())
+	for id := PageID(0); id < pages; id++ {
+		if err := p.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		checkTestPage(t, buf, id)
+	}
+}
+
+// TestArenaSealEquivalence: sealing preserves every live page
+// bit-for-bit (via both Read and View), the extent, and the freed set.
+func TestArenaSealEquivalence(t *testing.T) {
+	dev := NewMemDevice(64)
+	const pages = 17
+	buf := make([]byte, 64)
+	for i := 0; i < pages; i++ {
+		id, _ := dev.Alloc()
+		fillTestPage(buf, id, byte(10+i))
+		if err := dev.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dev.Free(5); err != nil {
+		t.Fatal(err)
+	}
+	ar, err := Seal(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Extent() != DeviceExtent(dev) || ar.NumPages() != dev.NumPages() {
+		t.Fatalf("arena extent/pages %d/%d, dev %d/%d",
+			ar.Extent(), ar.NumPages(), DeviceExtent(dev), dev.NumPages())
+	}
+	want := make([]byte, 64)
+	got := make([]byte, 64)
+	for id := PageID(0); id < pages; id++ {
+		if id == 5 {
+			if _, err := ar.View(id); !errors.Is(err, ErrPageFreed) {
+				t.Fatalf("freed page view: %v", err)
+			}
+			continue
+		}
+		if err := dev.Read(id, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := ar.Read(id, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("page %d differs after seal", id)
+		}
+		before := ar.Stats().Reads
+		v, err := ar.View(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(v.Data(), want) {
+			t.Fatalf("page %d view differs after seal", id)
+		}
+		if ar.Stats().Reads != before+1 {
+			t.Fatal("arena view not counted as a read")
+		}
+		v.Release()
+	}
+	if got, want := ar.FreedPages(), DeviceFreed(dev); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("freed list %v, want %v", got, want)
+	}
+}
+
+// TestArenaReadOnly: every mutating operation fails typed, and Close
+// shuts off reads.
+func TestArenaReadOnly(t *testing.T) {
+	dev := NewMemDevice(64)
+	if _, err := dev.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	ar, err := Seal(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ar.Alloc(); !errors.Is(err, ErrReadOnlyDevice) {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if err := ar.Write(0, make([]byte, 64)); !errors.Is(err, ErrReadOnlyDevice) {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := ar.Free(0); !errors.Is(err, ErrReadOnlyDevice) {
+		t.Fatalf("Free: %v", err)
+	}
+	if _, err := ar.View(99); !errors.Is(err, ErrPageBounds) {
+		t.Fatalf("bounds: %v", err)
+	}
+	if err := ar.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ar.View(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed view: %v", err)
+	}
+	if err := ar.Read(0, make([]byte, 64)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed read: %v", err)
+	}
+}
+
+// TestArenaViewConcurrent: lock-free arena views are safe under -race
+// from many goroutines.
+func TestArenaViewConcurrent(t *testing.T) {
+	dev := NewMemDevice(64)
+	const pages = 32
+	buf := make([]byte, 64)
+	for i := 0; i < pages; i++ {
+		id, _ := dev.Alloc()
+		fillTestPage(buf, id, 3)
+		if err := dev.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ar, err := Seal(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				id := PageID(rng.Intn(pages))
+				v, err := ar.View(id)
+				if err != nil {
+					t.Errorf("View(%d): %v", id, err)
+					return
+				}
+				if v.Data()[0] != byte(id) {
+					t.Errorf("view of %d shows page %d", id, v.Data()[0])
+				}
+				v.Release()
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

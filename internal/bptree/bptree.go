@@ -131,11 +131,13 @@ func Open(dev blockio.Device, m Meta) (*Tree, error) {
 	if err := t.computeCaps(); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, dev.BlockSize())
-	if err := dev.Read(m.Root, buf); err != nil {
+	v, err := blockio.View(dev, m.Root)
+	if err != nil {
 		return nil, fmt.Errorf("bptree: open root %d: %w", m.Root, err)
 	}
-	if isLeaf(buf) != (m.Height == 1) {
+	rootIsLeaf := isLeaf(v.Data())
+	v.Release()
+	if rootIsLeaf != (m.Height == 1) {
 		return nil, fmt.Errorf("bptree: root node kind contradicts height %d", m.Height)
 	}
 	return t, nil
@@ -215,24 +217,36 @@ func putPageID(b []byte, p blockio.PageID) {
 
 // --- search ----------------------------------------------------------
 
-// Cursor iterates leaf entries in key order.
+// Cursor iterates leaf entries in key order, decoding in place from a
+// zero-copy page view of the current leaf. Cursors are returned by
+// value (no per-search heap allocation); the caller must Close the
+// cursor when iteration ends to release the view — on a pooled device
+// an open cursor pins its leaf frame.
 type Cursor struct {
 	t    *Tree
 	page blockio.PageID
-	buf  []byte
+	view blockio.PageView
 	idx  int
 	err  error
 }
 
 // SearchCeil positions a cursor at the first entry with key >= x.
-// Returns ErrNotFound when every key is < x (or the tree is empty).
-func (t *Tree) SearchCeil(x float64) (*Cursor, error) {
-	buf := make([]byte, t.dev.BlockSize())
+// Returns ErrNotFound when every key is < x (or the tree is empty);
+// the cursor needs no Close on any error return. The descent holds at
+// most one page view at a time (each internal node is released before
+// its child is mapped), so a search never pins more than one frame.
+//
+//tr:hotpath
+func (t *Tree) SearchCeil(x float64) (Cursor, error) {
 	page := t.root
+	var v blockio.PageView
 	for {
-		if err := t.dev.Read(page, buf); err != nil {
-			return nil, err
+		var err error
+		v, err = blockio.View(t.dev, page)
+		if err != nil {
+			return Cursor{}, err
 		}
+		buf := v.Data()
 		if isLeaf(buf) {
 			break
 		}
@@ -244,8 +258,10 @@ func (t *Tree) SearchCeil(x float64) (*Cursor, error) {
 			j++
 		}
 		page = t.internalChild(buf, j)
+		v.Release()
 	}
-	c := &Cursor{t: t, page: page, buf: buf}
+	c := Cursor{t: t, page: page, view: v}
+	buf := c.view.Data()
 	n := leafCount(buf)
 	// Binary search within the leaf for first key >= x.
 	lo, hi := 0, n
@@ -262,59 +278,83 @@ func (t *Tree) SearchCeil(x float64) (*Cursor, error) {
 		// All keys in this leaf < x; the ceil (if any) is the first
 		// entry of the next leaf.
 		if !c.advanceLeaf() {
+			c.Close()
 			if c.err != nil {
-				return nil, c.err
+				return Cursor{}, c.err
 			}
-			return nil, ErrNotFound
+			return Cursor{}, ErrNotFound
 		}
 	}
-	if leafCount(c.buf) == 0 {
-		return nil, ErrNotFound
+	if leafCount(c.view.Data()) == 0 {
+		c.Close()
+		return Cursor{}, ErrNotFound
 	}
 	return c, nil
 }
 
 // Min positions a cursor at the smallest entry.
-func (t *Tree) Min() (*Cursor, error) {
+func (t *Tree) Min() (Cursor, error) {
 	return t.SearchCeil(math.Inf(-1))
 }
 
 // Key returns the cursor's current key.
-func (c *Cursor) Key() float64 { return c.t.leafKey(c.buf, c.idx) }
+//
+//tr:hotpath
+func (c *Cursor) Key() float64 { return c.t.leafKey(c.view.Data(), c.idx) }
 
 // Value returns the cursor's current value. The slice aliases the
-// cursor's internal buffer and is invalidated by Next.
-func (c *Cursor) Value() []byte { return c.t.leafValue(c.buf, c.idx) }
+// cursor's page view and is invalidated by Next and Close.
+//
+//tr:hotpath
+func (c *Cursor) Value() []byte { return c.t.leafValue(c.view.Data(), c.idx) }
 
 // Next advances to the following entry; it reports false at the end of
 // the tree or on IO error (check Err).
+//
+//tr:hotpath
 func (c *Cursor) Next() bool {
 	c.idx++
-	if c.idx < leafCount(c.buf) {
+	if c.idx < leafCount(c.view.Data()) {
 		return true
 	}
 	return c.advanceLeaf()
 }
 
+//tr:hotpath
 func (c *Cursor) advanceLeaf() bool {
-	next := leafNext(c.buf)
+	next := leafNext(c.view.Data())
 	for next != blockio.InvalidPage {
-		if err := c.t.dev.Read(next, c.buf); err != nil {
+		v, err := blockio.View(c.t.dev, next)
+		if err != nil {
 			c.err = err
 			return false
 		}
+		c.view.Release()
+		c.view = v
 		c.page = next
 		c.idx = 0
-		if leafCount(c.buf) > 0 {
+		if leafCount(v.Data()) > 0 {
 			return true
 		}
-		next = leafNext(c.buf)
+		next = leafNext(v.Data())
 	}
 	return false
 }
 
+// Close releases the cursor's leaf view. Idempotent; safe on the zero
+// cursor. Every cursor obtained from SearchCeil/Min must be closed
+// once iteration (or value decoding) is done.
+//
+//tr:hotpath
+func (c *Cursor) Close() { c.view.Release() }
+
 // Err returns the IO error that stopped iteration, if any.
 func (c *Cursor) Err() error { return c.err }
+
+// SetDevice re-seats the tree onto a device holding the same page
+// image — the seal path swaps the build device for an Arena. The
+// caller must guarantee no operation is in flight.
+func (t *Tree) SetDevice(dev blockio.Device) { t.dev = dev }
 
 // --- bulk load -------------------------------------------------------
 
@@ -588,23 +628,28 @@ func (t *Tree) insertLeaf(page blockio.PageID, buf []byte, key float64, value []
 
 // Last returns the largest entry (key, value) in O(height) IOs; used by
 // EXACT2 updates to fetch σ_i(I_{i,n_i}) from the last entry in T_i.
+// The value is copied out, so no view outlives the call.
 func (t *Tree) Last() (float64, []byte, error) {
-	buf := make([]byte, t.dev.BlockSize())
 	page := t.root
 	for {
-		if err := t.dev.Read(page, buf); err != nil {
+		v, err := blockio.View(t.dev, page)
+		if err != nil {
 			return 0, nil, err
 		}
+		buf := v.Data()
 		if isLeaf(buf) {
-			break
+			n := leafCount(buf)
+			if n == 0 {
+				v.Release()
+				return 0, nil, ErrNotFound
+			}
+			val := make([]byte, t.valueSize)
+			copy(val, t.leafValue(buf, n-1))
+			key := t.leafKey(buf, n-1)
+			v.Release()
+			return key, val, nil
 		}
 		page = t.internalChild(buf, internalCount(buf))
+		v.Release()
 	}
-	n := leafCount(buf)
-	if n == 0 {
-		return 0, nil, ErrNotFound
-	}
-	v := make([]byte, t.valueSize)
-	copy(v, t.leafValue(buf, n-1))
-	return t.leafKey(buf, n-1), v, nil
 }

@@ -36,7 +36,10 @@ type Exact3 struct {
 	// it live in the in-memory tail until the next rebuild (the static
 	// interval tree is read-only; see Append).
 	builtEnd []float64
-	tails    map[tsdata.SeriesID][]tailEntry
+	// tails is indexed by series ID (not a map: the stab visitor checks
+	// it once per interval, and a map lookup there puts a hash on the
+	// hot path for every object on every query).
+	tails [][]tailEntry
 }
 
 // tailEntry mirrors an interval-tree entry for appended segments.
@@ -94,7 +97,7 @@ func BuildExact3(dev blockio.Device, ds *tsdata.Dataset) (*Exact3, error) {
 		domainHi: hi,
 		frontier: frontier,
 		builtEnd: builtEnd,
-		tails:    make(map[tsdata.SeriesID][]tailEntry),
+		tails:    make([][]tailEntry, ds.NumSeries()),
 	}, nil
 }
 
@@ -116,6 +119,21 @@ func (e *Exact3) Device() blockio.Device { return e.dev }
 // IndexPages implements Method.
 func (e *Exact3) IndexPages() int { return e.dev.NumPages() }
 
+// Seal implements Sealer. EXACT3 is the natural sealing target: the
+// interval tree is static by construction (appends land in the
+// in-memory tail), so a sealed EXACT3 keeps full Append support while
+// every stab runs lock-free over one contiguous slab.
+func (e *Exact3) Seal() error {
+	ar, err := blockio.Seal(e.dev)
+	if err != nil {
+		return err
+	}
+	old := e.dev
+	e.dev = ar
+	e.tree.SetDevice(ar)
+	return old.Close()
+}
+
 // TopK implements Method: two stabbing queries then the shared top-k
 // pass.
 func (e *Exact3) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
@@ -123,43 +141,53 @@ func (e *Exact3) TopK(k int, t1, t2 float64) ([]topk.Item, error) {
 	if err != nil {
 		return nil, err
 	}
-	items := collectTopK(k, sums)
+	items := collectTopK(k, *sums)
 	putScores(sums)
 	return items, nil
 }
 
 // scorePool recycles the per-query σ-vectors (one float64 per object,
 // two vectors per query) — the largest single allocation on the EXACT3
-// read path.
+// read path. It traffics in *[]float64 so Get and Put round-trip the
+// same pointer object: putting the slice value (or a fresh pointer to
+// it) would re-box it on every release, costing an allocation per
+// vector per query.
 var scorePool sync.Pool
 
-// getScores returns a zeroed score slice of length m.
-func getScores(m int) []float64 {
+// getScores returns a pointer to a zeroed score slice of length m.
+//
+//tr:hotpath
+func getScores(m int) *[]float64 {
 	if v := scorePool.Get(); v != nil {
-		s := *v.(*[]float64)
-		if cap(s) >= m {
-			s = s[:m]
+		p := v.(*[]float64)
+		if cap(*p) >= m {
+			s := (*p)[:m]
 			for i := range s {
 				s[i] = 0
 			}
-			return s
+			*p = s
+			return p
 		}
 	}
-	return make([]float64, m)
+	//tr:alloc-ok one-time growth: steady-state pool reuse keeps the vector
+	s := make([]float64, m)
+	return &s
 }
 
-// putScores returns a slice obtained from getScores to the pool.
-func putScores(s []float64) {
-	if cap(s) == 0 {
+// putScores returns a pointer obtained from getScores to the pool.
+//
+//tr:hotpath
+func putScores(p *[]float64) {
+	if cap(*p) == 0 {
 		return
 	}
-	scorePool.Put(&s)
+	scorePool.Put(p)
 }
 
 // allScores computes σ_i(t1,t2) for every object via two stabs. The
-// returned slice comes from scorePool; callers release it with
+// returned vector comes from scorePool; callers release it with
 // putScores once the values are consumed.
-func (e *Exact3) allScores(t1, t2 float64) ([]float64, error) {
+func (e *Exact3) allScores(t1, t2 float64) (*[]float64, error) {
 	if err := validateQuery(t1, t2); err != nil {
 		return nil, err
 	}
@@ -172,8 +200,9 @@ func (e *Exact3) allScores(t1, t2 float64) ([]float64, error) {
 		putScores(hi)
 		return nil, err
 	}
-	for i := range hi {
-		hi[i] -= lo[i]
+	h, l := *hi, *lo
+	for i := range h {
+		h[i] -= l[i]
 	}
 	putScores(lo)
 	return hi, nil
@@ -198,8 +227,9 @@ func (e *Exact3) clampStatic(t float64) float64 {
 // yields each object's covering interval, whose prefix minus the
 // partial trapezoid beyond t gives the prefix aggregate at t. Appended
 // tails override the static tree's right sentinels.
-func (e *Exact3) stabSigma(t float64) ([]float64, error) {
-	out := getScores(e.m)
+func (e *Exact3) stabSigma(t float64) (*[]float64, error) {
+	outp := getScores(e.m)
+	out := *outp
 	stabT := e.clampStatic(t)
 	err := e.tree.Stab(stabT, func(iv itree.Interval) bool {
 		id := getSeriesID(iv.Payload[0:])
@@ -211,14 +241,14 @@ func (e *Exact3) stabSigma(t float64) ([]float64, error) {
 		}
 		seg := tsdata.Segment{T1: iv.Lo, T2: iv.Hi, V1: getF64(iv.Payload[4:]), V2: getF64(iv.Payload[12:])}
 		prefix := getF64(iv.Payload[20:])
-		out[id] = prefix - seg.IntegralOver(stabT, iv.Hi)
+		out[id] = prefix - seg.IntegralFrom(stabT)
 		return true
 	})
 	if err != nil {
-		putScores(out)
+		putScores(outp)
 		return nil, err
 	}
-	return out, nil
+	return outp, nil
 }
 
 // tailSigma evaluates σ up to t against the append tail (sorted by
@@ -236,7 +266,7 @@ func tailSigma(tail []tailEntry, t float64) float64 {
 	if t >= te.seg.T2 {
 		return te.prefix
 	}
-	return te.prefix - te.seg.IntegralOver(t, te.seg.T2)
+	return te.prefix - te.seg.IntegralFrom(t)
 }
 
 // Score implements Method. The interval tree has no single-object
@@ -250,7 +280,7 @@ func (e *Exact3) Score(id tsdata.SeriesID, t1, t2 float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	s := sums[id]
+	s := (*sums)[id]
 	putScores(sums)
 	return s, nil
 }

@@ -124,11 +124,14 @@ func (e *Exact3) State() Exact3State {
 		Tails:    make(map[tsdata.SeriesID][]Exact3Tail, len(e.tails)),
 	}
 	for id, tail := range e.tails {
+		if len(tail) == 0 {
+			continue // keep the sparse wire shape: only appended series
+		}
 		out := make([]Exact3Tail, len(tail))
 		for j, te := range tail {
 			out[j] = Exact3Tail{Seg: te.seg, Prefix: te.prefix}
 		}
-		st.Tails[id] = out
+		st.Tails[tsdata.SeriesID(id)] = out
 	}
 	return st
 }
@@ -152,7 +155,7 @@ func RestoreExact3(dev blockio.Device, ds *tsdata.Dataset, st Exact3State) (*Exa
 		domainHi: st.DomainHi,
 		frontier: datasetFrontier(ds),
 		builtEnd: append([]float64(nil), st.BuiltEnd...),
-		tails:    make(map[tsdata.SeriesID][]tailEntry, len(st.Tails)),
+		tails:    make([][]tailEntry, m),
 	}
 	for id, tail := range st.Tails {
 		if int(id) < 0 || int(id) >= m {

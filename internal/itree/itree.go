@@ -256,31 +256,35 @@ func (t *Tree) writeList(ivs []Interval) (blockio.PageID, error) {
 }
 
 // Stab invokes visit for every stored interval containing t. The
-// payload slice passed to visit aliases an internal pooled buffer; it
-// is invalidated when Stab returns, so copy it to retain. Iteration
-// stops early if visit returns false.
+// payload slice passed to visit aliases the page view of the list page
+// being scanned; it is valid only for the duration of the visit call —
+// copy it to retain. Iteration stops early if visit returns false.
+//
+// Stabs are the EXACT3 hot path (two per top-k query): each node and
+// list page is decoded in place from a zero-copy view, holding at most
+// one view at a time (the node header is decoded to locals and its
+// view released before the lists are scanned).
+//
+//tr:hotpath
 func (t *Tree) Stab(x float64, visit func(iv Interval) bool) error {
-	// Stabs are the EXACT3 hot path (two per top-k query); recycle the
-	// node and list scratch pages instead of allocating per call.
-	bp := blockio.GetPageBuf(t.dev.BlockSize())
-	lp := blockio.GetPageBuf(t.dev.BlockSize())
-	defer blockio.PutPageBuf(bp)
-	defer blockio.PutPageBuf(lp)
-	buf, lbuf := *bp, *lp
 	page := t.root
 	for page != blockio.InvalidPage {
-		if err := t.dev.Read(page, buf); err != nil {
+		v, err := blockio.View(t.dev, page)
+		if err != nil {
 			return err
 		}
+		buf := v.Data()
 		center := math.Float64frombits(binary.LittleEndian.Uint64(buf[0:]))
 		leftPage := getPageID(buf[8:])
 		rightPage := getPageID(buf[16:])
 		lHead := getPageID(buf[24:])
 		rHead := getPageID(buf[36:])
+		v.Release()
 		switch {
 		case x < center:
 			// Ascending-lo list: all entries with lo <= x contain x.
-			done, err := t.scanList(lHead, lbuf, func(iv Interval) (bool, bool) {
+			//tr:alloc-ok closure captures stay on the stack: scanList does not retain fn
+			done, err := t.scanList(lHead, func(iv Interval) (bool, bool) {
 				if iv.Lo > x {
 					return false, true // stop scanning, continue traversal
 				}
@@ -295,7 +299,8 @@ func (t *Tree) Stab(x float64, visit func(iv Interval) bool) error {
 			page = leftPage
 		case x > center:
 			// Descending-hi list: all entries with hi > x contain x.
-			done, err := t.scanList(rHead, lbuf, func(iv Interval) (bool, bool) {
+			//tr:alloc-ok closure captures stay on the stack: scanList does not retain fn
+			done, err := t.scanList(rHead, func(iv Interval) (bool, bool) {
 				if iv.Hi <= x {
 					return false, true
 				}
@@ -309,7 +314,8 @@ func (t *Tree) Stab(x float64, visit func(iv Interval) bool) error {
 			}
 			page = rightPage
 		default: // x == center: every interval at this node contains x.
-			_, err := t.scanList(lHead, lbuf, func(iv Interval) (bool, bool) {
+			//tr:alloc-ok closure captures stay on the stack: scanList does not retain fn
+			_, err := t.scanList(lHead, func(iv Interval) (bool, bool) {
 				return !visit(iv), false
 			})
 			return err
@@ -318,15 +324,21 @@ func (t *Tree) Stab(x float64, visit func(iv Interval) bool) error {
 	return nil
 }
 
-// scanList walks a list chain. fn returns (stopAll, stopScan):
-// stopAll aborts the whole stab (visit returned false); stopScan ends
-// this list early (sorted early-exit). Returns stopAll.
-func (t *Tree) scanList(head blockio.PageID, buf []byte, fn func(iv Interval) (bool, bool)) (bool, error) {
+// scanList walks a list chain, decoding entries in place from each
+// page's view (released before the next page is mapped). fn returns
+// (stopAll, stopScan): stopAll aborts the whole stab (visit returned
+// false); stopScan ends this list early (sorted early-exit). Returns
+// stopAll.
+//
+//tr:hotpath
+func (t *Tree) scanList(head blockio.PageID, fn func(iv Interval) (bool, bool)) (bool, error) {
 	page := head
 	for page != blockio.InvalidPage {
-		if err := t.dev.Read(page, buf); err != nil {
+		v, err := blockio.View(t.dev, page)
+		if err != nil {
 			return false, err
 		}
+		buf := v.Data()
 		count := int(binary.LittleEndian.Uint16(buf[0:]))
 		next := getPageID(buf[2:])
 		off := listHeaderSize
@@ -341,17 +353,22 @@ func (t *Tree) scanList(head blockio.PageID, buf []byte, fn func(iv Interval) (b
 				off += intervalSize + t.payloadSize
 				continue
 			}
-			if stopScan && !stopAll {
-				return false, nil
-			}
+			v.Release()
 			if stopAll {
 				return true, nil
 			}
+			return false, nil
 		}
+		v.Release()
 		page = next
 	}
 	return false, nil
 }
+
+// SetDevice re-seats the tree onto a device holding the same page
+// image — the seal path swaps the build device for an Arena. The
+// caller must guarantee no operation is in flight.
+func (t *Tree) SetDevice(dev blockio.Device) { t.dev = dev }
 
 func getPageID(b []byte) blockio.PageID {
 	return blockio.PageID(int64(binary.LittleEndian.Uint64(b)))

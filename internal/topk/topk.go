@@ -79,15 +79,58 @@ func (c *Collector) Release() { collectorPool.Put(c) }
 func (c *Collector) K() int { return c.k }
 
 // Add offers an item; it is retained only if it ranks in the current
-// top k.
+// top k. The sift operations are hand-rolled rather than delegated to
+// container/heap: heap.Push/Fix take interface{} and box every Item,
+// which on the serving path means k heap allocations per query.
+//
+//tr:hotpath
 func (c *Collector) Add(id tsdata.SeriesID, score float64) {
+	it := Item{ID: id, Score: score}
 	if len(c.items) < c.k {
-		heap.Push(&c.items, Item{ID: id, Score: score})
+		//tr:alloc-ok never grows: NewCollector/Reset pre-reserve k+1 capacity
+		c.items = append(c.items, it)
+		c.items.siftUp(len(c.items) - 1)
 		return
 	}
-	if less(c.items[0], Item{ID: id, Score: score}) {
-		c.items[0] = Item{ID: id, Score: score}
-		heap.Fix(&c.items, 0)
+	if less(c.items[0], it) {
+		c.items[0] = it
+		c.items.siftDown(0)
+	}
+}
+
+// siftUp restores the min-heap property after appending at i.
+//
+//tr:hotpath
+func (h minHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// siftDown restores the min-heap property after replacing the root.
+//
+//tr:hotpath
+func (h minHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		small := left
+		if right := left + 1; right < n && less(h[right], h[left]) {
+			small = right
+		}
+		if !less(h[small], h[i]) {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
 	}
 }
 
@@ -114,7 +157,23 @@ func (c *Collector) Results() []Item {
 }
 
 // SortItems orders items by descending score, ties by ascending ID.
+// Small lists — every per-query top-k, where this runs on the serving
+// hot path — use an allocation-free insertion sort; sort.Slice costs
+// two heap allocations per call (the comparator closure and the
+// reflect-based swapper) and only wins on lists far larger than any
+// practical k.
+//
+//tr:hotpath
 func SortItems(items []Item) {
+	if len(items) <= 64 {
+		for i := 1; i < len(items); i++ {
+			for j := i; j > 0 && less(items[j-1], items[j]); j-- {
+				items[j-1], items[j] = items[j], items[j-1]
+			}
+		}
+		return
+	}
+	//tr:alloc-ok cold path: per-query k never reaches 64; closure+swapper are fine here
 	sort.Slice(items, func(a, b int) bool { return less(items[b], items[a]) })
 }
 
@@ -126,19 +185,9 @@ func less(a, b Item) bool {
 	return a.ID > b.ID
 }
 
+// minHeap is a size-bounded min-heap maintained by siftUp/siftDown
+// (deliberately not a container/heap.Interface; see Collector.Add).
 type minHeap []Item
-
-func (h minHeap) Len() int            { return len(h) }
-func (h minHeap) Less(i, j int) bool  { return less(h[i], h[j]) }
-func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
-func (h *minHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
 
 // --- k-way merge ------------------------------------------------------
 

@@ -60,6 +60,18 @@ func (s Segment) IntegralOver(t1, t2 float64) float64 {
 	return 0.5 * (tR - tL) * (s.At(tL) + s.At(tR))
 }
 
+// IntegralFrom returns the integral over [t, T2] for t already known
+// to lie in [T1, T2]: IntegralOver(t, T2) without the clamping
+// min/max, bit-identical to it on that domain (At(T2) evaluates to
+// exactly V2). The stab visitors call this once per object per query,
+// where the two math.Max/Min calls of the general form are measurable.
+func (s Segment) IntegralFrom(t float64) float64 {
+	if s.T2 <= t {
+		return 0
+	}
+	return 0.5 * (s.T2 - t) * (s.At(t) + s.V2)
+}
+
 // AbsIntegral returns the integral of |g| over the segment's own span.
 // Used when scores may be negative: breakpoint construction (§4 of the
 // paper) replaces σ by ∫|g| when defining M and thresholds.

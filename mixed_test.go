@@ -150,7 +150,10 @@ func checkApprox(t *testing.T, label string, got, want temporalrank.Answer, mass
 // Planner over every index method, with the memtable enabled and
 // disabled, and demands brute-force-equivalent answers at every step.
 // With the memtable on, compactions are forced at random points —
-// including concurrently with the query they race.
+// including concurrently with the query they race. The sealed mode
+// re-proves the same equivalence over arena-backed indexes: sealing
+// is forced on at build time and re-applied by every compaction
+// rebuild, so each generation the queries hit lives in a sealed slab.
 func TestMixedWorkloadEquivalence(t *testing.T) {
 	const targetR = 60
 	methods := []struct {
@@ -164,15 +167,20 @@ func TestMixedWorkloadEquivalence(t *testing.T) {
 		{temporalrank.MethodAppx2, true},
 		{temporalrank.MethodAppx2P, true},
 	}
+	modes := []struct {
+		name     string
+		memtable bool
+		sealed   bool
+	}{
+		{"direct", false, false},
+		{"memtable", true, false},
+		{"memtable-sealed", true, true},
+	}
 	ctx := context.Background()
 	for _, mc := range methods {
-		for _, memtable := range []bool{false, true} {
-			name := string(mc.m)
-			if memtable {
-				name += "/memtable"
-			} else {
-				name += "/direct"
-			}
+		for _, mode := range modes {
+			memtable := mode.memtable
+			name := string(mc.m) + "/" + mode.name
 			t.Run(name, func(t *testing.T) {
 				inputs := clusterInputs(t, 40, 20, 97)
 				st := newMixedState(t, inputs, int64(len(name))*1009+7)
@@ -180,7 +188,7 @@ func TestMixedWorkloadEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				ix, err := db.BuildIndex(temporalrank.Options{Method: mc.m, TargetR: targetR, KMax: 24})
+				ix, err := db.BuildIndex(temporalrank.Options{Method: mc.m, TargetR: targetR, KMax: 24, SealIndexes: mode.sealed})
 				if err != nil {
 					t.Fatal(err)
 				}

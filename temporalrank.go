@@ -249,6 +249,19 @@ type Options struct {
 	BuildWorkers int
 	// OnDiskPath stores the index in a file instead of memory.
 	OnDiskPath string
+	// SealIndexes packs the index's pages into a read-only arena
+	// (blockio.Arena) after the build: one contiguous slab whose
+	// zero-copy views need no locks or pin refcounts, and whose GC
+	// footprint is a single heap object regardless of dataset size.
+	// Sealing freezes the index's device, so direct Index.Append fails
+	// with blockio.ErrReadOnlyDevice for methods that write pages on
+	// append (EXACT1, EXACT2, APPX2+ between rebuilds); pair sealing
+	// with the memtable ingest path, which buffers appends above the
+	// index and rebuilds (and reseals) each compacted generation.
+	// EXACT3 and the pure approximate methods keep full Append support
+	// when sealed. A buffer pool (CacheBlocks) is pointless over an
+	// arena and is dropped at seal time along with the build device.
+	SealIndexes bool
 }
 
 // Index is a built aggregate top-k index.
@@ -297,7 +310,29 @@ func (db *DB) BuildIndex(opts Options) (*Index, error) {
 		return nil, err
 	}
 	opts.Method = Method(name)
-	return &Index{m: m, db: db, opts: opts}, nil
+	ix := &Index{m: m, db: db, opts: opts}
+	if opts.SealIndexes {
+		if err := ix.Seal(); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// Seal packs the index's live pages into a read-only arena and
+// re-seats the index onto it (see Options.SealIndexes for the
+// trade-offs). Sealing an already-sealed index reseals it — a cheap
+// no-op-shaped copy — and an index whose method cannot be sealed
+// returns ErrUnsupported. Safe to call concurrently with queries: the
+// swap happens under the exclusive lock.
+func (ix *Index) Seal() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	s, ok := ix.m.(exact.Sealer)
+	if !ok {
+		return fmt.Errorf("temporalrank: method %s cannot be sealed: %w", ix.m.Name(), ErrBadConfig)
+	}
+	return s.Seal()
 }
 
 // Method returns the index's method name.
